@@ -1,0 +1,91 @@
+// Command pgbench reproduces the paper's evaluation section: it runs the
+// sweep behind every figure (9a–14) on synthetic PPI-like data and prints
+// paper-style series tables.
+//
+// Usage:
+//
+//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14] [-seed N]
+//
+// Absolute timings are machine-dependent; the reproduction target is the
+// shape of each series (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"probgraph/internal/experiments"
+	"probgraph/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
+	fig := flag.String("fig", "all", "figure to run: all, 9a, 9b, 10, 11, 12, 13, 14")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("pgbench: scale=%s fig=%s seed=%d\n", *scale, *fig, *seed)
+	env, err := experiments.NewEnv(experiments.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d graphs, %d PMI features, index built in %v\n\n",
+		env.DB.Len(), env.DB.Build.Features,
+		env.DB.Build.FeatureTime+env.DB.Build.PMITime+env.DB.Build.StructTime)
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name) ||
+			(len(name) > 2 && strings.EqualFold(*fig, name[:2]))
+	}
+	render := func(t *stats.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if want("9a") {
+		render(env.Fig9a())
+	}
+	if want("9b") {
+		render(env.Fig9b())
+	}
+	if want("10") {
+		a, b, err := env.Fig10()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(a, nil)
+		render(b, nil)
+	}
+	if want("11") {
+		a, b, err := env.Fig11()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(a, nil)
+		render(b, nil)
+	}
+	if want("12") {
+		tables, err := env.Fig12()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			render(t, nil)
+		}
+	}
+	if want("13") {
+		render(env.Fig13())
+	}
+	if want("14") {
+		render(env.Fig14())
+	}
+	fmt.Printf("pgbench done in %v\n", time.Since(start))
+}

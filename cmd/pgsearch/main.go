@@ -1,0 +1,140 @@
+// Command pgsearch answers T-PS queries over a database file produced by
+// cmd/pggen: it builds the full index (structural filter + PMI), extracts
+// or reads a query graph, and runs the filter-and-verify pipeline.
+//
+// Usage:
+//
+//	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
+//	         [-qfrom 0] [-queries 5] [-verifier smp|exact|none]
+//	         [-plain] [-seed 1] [-v]
+//
+// Queries are extracted from the certain graph of the graph at index
+// -qfrom (rotating across -queries runs), matching the paper's workload
+// construction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"probgraph"
+	"probgraph/internal/stats"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file from pggen (required)")
+	epsilon := flag.Float64("epsilon", 0.5, "probability threshold ε")
+	delta := flag.Int("delta", 2, "subgraph distance threshold δ")
+	qsize := flag.Int("qsize", 6, "query size (edges)")
+	qfrom := flag.Int("qfrom", 0, "index of the graph to extract queries from")
+	queries := flag.Int("queries", 5, "number of queries to run")
+	verifier := flag.String("verifier", "smp", "verifier: smp, exact, none")
+	plain := flag.Bool("plain", false, "use plain SSPBound instead of OPT-SSPBound")
+	saveIndex := flag.String("saveindex", "", "write the built PMI index to this file")
+	loadIndex := flag.String("loadindex", "", "load a previously saved PMI index instead of rebuilding")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print per-answer SSP estimates")
+	flag.Parse()
+
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := probgraph.LoadDataset(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d probabilistic graphs\n", len(raw.Graphs))
+
+	start := time.Now()
+	buildOpt := probgraph.DefaultBuildOptions()
+	buildOpt.SkipPMI = *loadIndex != ""
+	db, err := probgraph.NewDatabase(raw.Graphs, buildOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *loadIndex != "" {
+		idxFile, err := os.Open(*loadIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := probgraph.LoadPMI(idxFile)
+		idxFile.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.AttachPMI(idx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded PMI index from %s (%d features)\n", *loadIndex, idx.NumFeatures())
+	}
+	fmt.Printf("indexed in %v: %d PMI features, %.1f KB index\n\n",
+		time.Since(start), db.PMI.NumFeatures(), float64(db.Build.IndexSizeBytes)/1024)
+	if *saveIndex != "" {
+		idxFile, err := os.Create(*saveIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.PMI.Save(idxFile); err != nil {
+			log.Fatal(err)
+		}
+		idxFile.Close()
+		fmt.Printf("saved PMI index to %s\n", *saveIndex)
+	}
+
+	var vk probgraph.VerifierKind
+	switch *verifier {
+	case "smp":
+		vk = probgraph.VerifierSMP
+	case "exact":
+		vk = probgraph.VerifierExact
+	case "none":
+		vk = probgraph.VerifierNone
+	default:
+		log.Fatalf("unknown verifier %q", *verifier)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	table := stats.NewTable("query results",
+		"query", "answers", "struct", "pruned", "accepted", "verified", "time")
+	for i := 0; i < *queries; i++ {
+		src := raw.Graphs[(*qfrom+i)%len(raw.Graphs)].G
+		q := probgraph.ExtractQuery(src, *qsize, rng)
+		res, err := db.Query(q, probgraph.QueryOptions{
+			Epsilon: *epsilon, Delta: *delta,
+			OptBounds: !*plain, Verifier: vk, Seed: *seed + int64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(
+			fmt.Sprintf("q%d(%de)", i, q.NumEdges()),
+			len(res.Answers),
+			res.Stats.StructConfirmed,
+			res.Stats.PrunedByUpper,
+			res.Stats.AcceptedByLower,
+			res.Stats.VerifyCandidates,
+			res.Stats.TimeTotal.Round(time.Microsecond),
+		)
+		if *verbose {
+			for _, gi := range res.Answers {
+				ssp := res.SSP[gi]
+				tag := fmt.Sprintf("SSP≈%.3f", ssp)
+				if ssp == -1 {
+					tag = "accepted by lower bound"
+				}
+				fmt.Printf("  q%d → %s (%s)\n", i, raw.Graphs[gi].G.Name(), tag)
+			}
+		}
+	}
+	table.Render(os.Stdout)
+}

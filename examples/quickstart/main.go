@@ -1,0 +1,77 @@
+// Command quickstart walks the paper's running example (Figure 1 /
+// Example 1): a two-graph probabilistic database, the query q, and a
+// threshold query answered three ways — naive possible-world enumeration,
+// the exact inclusion–exclusion verifier, and the full filter-and-verify
+// pipeline — to show they agree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probgraph"
+)
+
+func main() {
+	g001, g002, q, err := probgraph.PaperFigure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Probabilistic graph database (paper Figure 1):")
+	fmt.Println(" ", g001.G)
+	fmt.Println(" ", g002.G)
+	fmt.Println("Query:", q)
+	fmt.Println()
+
+	// Index the database. Small thresholds because the "database" has two
+	// graphs; real workloads use the defaults.
+	opt := probgraph.DefaultBuildOptions()
+	opt.Feature.Beta = 0.4
+	opt.Feature.Alpha = 0.05
+	opt.Feature.Gamma = 0.05
+	opt.Feature.MaxL = 3
+	db, err := probgraph.NewDatabase([]*probgraph.PGraph{g001, g002}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Indexed: %d PMI features, %d bytes of index\n\n",
+		db.Build.Features, db.Build.IndexSizeBytes)
+
+	// The subgraph similarity probability of q against each graph, by
+	// exhaustive possible-world enumeration (the naive Section 1.1
+	// algorithm — feasible only because these graphs are tiny).
+	const delta = 1
+	for gi, pg := range db.Graphs {
+		ssp, err := db.ExactSSPByEnumeration(q, gi, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Pr(q ⊆sim %s) with δ=%d: %.4f\n", pg.G.Name(), delta, ssp)
+	}
+	fmt.Println()
+
+	// Threshold query: ε = 0.35, δ = 1 (Example 1 runs the same shape with
+	// ε = 0.4; our fixture fills the JPT rows the paper leaves unprinted,
+	// so the exact SSP is 0.387 instead of the paper's 0.45 — the behavior
+	// matches: graph 002 clears the threshold, graph 001 does not).
+	const epsilon = 0.35
+	res, err := db.Query(q, probgraph.QueryOptions{
+		Epsilon:   epsilon,
+		Delta:     delta,
+		OptBounds: true,
+		Verifier:  probgraph.VerifierExact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T-PS query ε=%.2f δ=%d answers: ", epsilon, delta)
+	for _, gi := range res.Answers {
+		fmt.Printf("%s ", db.Graphs[gi].G.Name())
+	}
+	fmt.Println()
+	fmt.Printf("pipeline: %d structural candidates, %d pruned by Usim, %d accepted by Lsim, %d verified\n",
+		res.Stats.StructConfirmed,
+		res.Stats.PrunedByUpper,
+		res.Stats.AcceptedByLower,
+		res.Stats.VerifyCandidates)
+}

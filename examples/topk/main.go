@@ -1,0 +1,57 @@
+// Command topk ranks database graphs by subgraph similarity probability
+// instead of thresholding: "which five interaction networks most reliably
+// contain this pathway?" It exercises QueryTopK, which verifies candidates
+// in decreasing Usim order and stops as soon as no remaining upper bound
+// can beat the current k-th best — the natural top-k extension of the
+// paper's bound machinery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"probgraph"
+	"probgraph/internal/stats"
+)
+
+func main() {
+	raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+		NumGraphs: 30, Organisms: 3,
+		MinVertices: 8, MaxVertices: 12,
+		MeanProb: 0.65, Mutations: 0.2,
+		Correlated: true, Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := probgraph.DefaultBuildOptions()
+	opt.Feature.Beta = 0.2
+	opt.Feature.MaxL = 4
+	db, err := probgraph.NewDatabase(raw.Graphs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d graphs (%d features)\n\n", db.Len(), db.Build.Features)
+
+	rng := rand.New(rand.NewSource(2))
+	q := probgraph.ExtractQuery(raw.Seeds[1], 5, rng)
+	fmt.Println("pathway query:", q)
+
+	const k = 5
+	top, err := db.QueryTopK(q, k, probgraph.QueryOptions{
+		Delta: 1, OptBounds: true, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := stats.NewTable(fmt.Sprintf("top-%d most similar graphs (δ=1)", k),
+		"rank", "graph", "organism", "SSP")
+	for i, item := range top {
+		table.AddRow(i+1, raw.Graphs[item.Graph].G.Name(), raw.Organism[item.Graph], item.SSP)
+	}
+	table.Render(os.Stdout)
+	fmt.Println("\nThe query came from organism 1's seed network; its family should")
+	fmt.Println("dominate the ranking.")
+}

@@ -1,0 +1,143 @@
+// Package core assembles the paper's full T-PS query pipeline: structural
+// pruning over the certain graphs, probabilistic pruning through the PMI
+// index (SSPBound / OPT-SSPBound over SIPBound / OPT-SIPBound entries), and
+// Monte-Carlo or exact verification (paper §1.2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"probgraph/internal/feature"
+	"probgraph/internal/graph"
+	"probgraph/internal/pmi"
+	"probgraph/internal/prob"
+	"probgraph/internal/simsearch"
+)
+
+// BuildOptions configures database and index construction.
+type BuildOptions struct {
+	// Feature mining knobs (paper Algorithm 4: α, β, γ, maxL).
+	Feature feature.Options
+	// PMI construction knobs; PMI.Optimize distinguishes OPT-SIPBound
+	// (true) from SIPBound (false).
+	PMI pmi.Options
+	// StructFeatures caps the structural filter's counting features.
+	StructFeatures int
+	// SkipPMI builds only the structural layer (used by the Structure-only
+	// baseline and by IND-model comparisons that rebuild indices).
+	SkipPMI bool
+}
+
+// DefaultBuildOptions returns the paper's default parameter setting scaled
+// to this implementation.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{PMI: pmi.NewOptions()}
+}
+
+// BuildStats records index construction cost (Figure 12c/12d metrics).
+type BuildStats struct {
+	Features       int
+	FeatureTime    time.Duration
+	PMITime        time.Duration
+	StructTime     time.Duration
+	IndexSizeBytes int
+}
+
+// Database is an indexed probabilistic graph database ready for T-PS
+// queries.
+type Database struct {
+	Graphs  []*prob.PGraph
+	Engines []*prob.Engine
+	Certain []*graph.Graph
+
+	Features []*feature.Feature
+	PMI      *pmi.Index
+	Struct   *simsearch.Index
+
+	Build BuildStats
+	opt   BuildOptions
+}
+
+// NewDatabase indexes the given probabilistic graphs: it builds per-graph
+// inference engines, mines PMI features, constructs the PMI, and prepares
+// the structural filter.
+func NewDatabase(graphs []*prob.PGraph, opt BuildOptions) (*Database, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	db := &Database{Graphs: graphs, opt: opt}
+	for i, pg := range graphs {
+		eng, err := prob.NewEngine(pg)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph %d: %w", i, err)
+		}
+		db.Engines = append(db.Engines, eng)
+		db.Certain = append(db.Certain, pg.G)
+	}
+
+	t0 := time.Now()
+	sf := simsearch.DefaultFeatures(db.Certain, opt.StructFeatures)
+	db.Struct = simsearch.BuildIndex(db.Certain, sf)
+	db.Build.StructTime = time.Since(t0)
+
+	t1 := time.Now()
+	db.Features = feature.Mine(db.Certain, opt.Feature)
+	db.Build.FeatureTime = time.Since(t1)
+	db.Build.Features = len(db.Features)
+
+	if !opt.SkipPMI {
+		t2 := time.Now()
+		idx, err := pmi.Build(graphs, db.Engines, db.Features, opt.PMI)
+		if err != nil {
+			return nil, fmt.Errorf("core: building PMI: %w", err)
+		}
+		db.PMI = idx
+		db.Build.PMITime = time.Since(t2)
+		db.Build.IndexSizeBytes = idx.SizeBytes()
+	}
+	return db, nil
+}
+
+// Len returns the number of graphs.
+func (db *Database) Len() int { return len(db.Graphs) }
+
+// AddGraph appends one probabilistic graph to the database incrementally:
+// it builds the inference engine, extends the structural filter, and adds
+// the graph's column to the PMI. The mined feature vocabulary is kept
+// (standard incremental-index trade-off; rebuild with NewDatabase when the
+// data distribution drifts). The new graph's index is returned.
+func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
+	eng, err := prob.NewEngine(pg)
+	if err != nil {
+		return 0, fmt.Errorf("core: adding graph: %w", err)
+	}
+	gi := len(db.Graphs)
+	db.Graphs = append(db.Graphs, pg)
+	db.Engines = append(db.Engines, eng)
+	db.Certain = append(db.Certain, pg.G)
+	db.Struct.AddGraph(pg.G)
+	if db.PMI != nil {
+		if err := db.PMI.AddGraph(pg, eng); err != nil {
+			return 0, err
+		}
+		db.Build.IndexSizeBytes = db.PMI.SizeBytes()
+	}
+	return gi, nil
+}
+
+// AttachPMI installs a previously persisted index (see pmi.Index.Save /
+// pmi.Load), replacing whatever the build produced. The index must have
+// been built from exactly this database: the column count is validated
+// here, entry semantics cannot be (garbage in, garbage out).
+func (db *Database) AttachPMI(idx *pmi.Index) error {
+	for fi := range idx.Entries {
+		if len(idx.Entries[fi]) != len(db.Graphs) {
+			return fmt.Errorf("core: index row %d covers %d graphs, database has %d",
+				fi, len(idx.Entries[fi]), len(db.Graphs))
+		}
+	}
+	db.PMI = idx
+	db.Build.IndexSizeBytes = idx.SizeBytes()
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probgraph/internal/dataset"
+	"probgraph/internal/verify"
+)
+
+// TestAddGraphMatchesNaive: after incremental insertion, pipeline answers
+// (Exact verifier) over the extended database must equal naive enumeration
+// over the extended database.
+func TestAddGraphMatchesNaive(t *testing.T) {
+	db, raw := smallDatabase(t, 1001, 6, true)
+	// Generate two extra graphs from the same distribution.
+	extra, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 2, MinVertices: 5, MaxVertices: 7, EdgeFactor: 1.3,
+		Labels: 3, Organisms: 2, Correlated: true, Seed: 2002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range extra.Graphs {
+		gi, err := db.AddGraph(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gi >= db.Len() {
+			t.Fatalf("returned index %d out of range", gi)
+		}
+	}
+	if db.Len() != len(raw.Graphs)+2 {
+		t.Fatalf("database has %d graphs, want %d", db.Len(), len(raw.Graphs)+2)
+	}
+	// PMI columns must cover the new graphs.
+	for fi := range db.PMI.Entries {
+		if len(db.PMI.Entries[fi]) != db.Len() {
+			t.Fatalf("PMI row %d has %d columns, want %d", fi, len(db.PMI.Entries[fi]), db.Len())
+		}
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		// Mix queries from the original and the inserted graphs.
+		src := db.Certain[(trial*3+db.Len()-1)%db.Len()]
+		q := dataset.ExtractQuery(src, 4, rng)
+		eps := 0.35
+		res, err := db.Query(q, QueryOptions{
+			Epsilon: eps, Delta: 1, OptBounds: true,
+			Verifier: VerifierExact, Verify: verify.Options{MaxClauses: 22},
+			Seed: int64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ssp := naiveAnswers(t, db, q, eps, 1)
+		if !sameIntSet(res.Answers, want) {
+			t.Fatalf("trial %d: incremental db pipeline %v vs naive %v (ssp %v)",
+				trial, res.Answers, want, ssp)
+		}
+	}
+}
+
+// TestAddGraphBoundsStaySound: PMI entries added incrementally must still
+// sandwich the exact SIP.
+func TestAddGraphBoundsStaySound(t *testing.T) {
+	db, _ := smallDatabase(t, 1003, 5, true)
+	extra, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 1, MinVertices: 5, MaxVertices: 6, EdgeFactor: 1.3,
+		Labels: 3, Organisms: 1, Correlated: true, Seed: 3003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := db.AddGraph(extra.Graphs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for fi, fg := range db.PMI.Features {
+		e := db.PMI.Entries[fi][gi]
+		if !e.Contained {
+			continue
+		}
+		// Exact SIP by world enumeration.
+		q := fg
+		sip, err := db.ExactSSPByEnumeration(q, gi, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Lower > sip+1e-9 || e.Upper < sip-1e-9 {
+			t.Fatalf("feature %d: incremental bounds [%v,%v] miss exact SIP %v", fi, e.Lower, e.Upper, sip)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no contained features on the inserted graph (acceptable)")
+	}
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"probgraph/internal/cover"
+	"probgraph/internal/graph"
+	"probgraph/internal/iso"
+	"probgraph/internal/pmi"
+	"probgraph/internal/prob"
+	"probgraph/internal/qp"
+	"probgraph/internal/relax"
+	"probgraph/internal/verify"
+)
+
+// VerifierKind selects the verification algorithm.
+type VerifierKind int
+
+const (
+	// VerifierSMP is the paper's Algorithm 5 sampler (default).
+	VerifierSMP VerifierKind = iota
+	// VerifierExact is the Equation 21 inclusion–exclusion baseline.
+	VerifierExact
+	// VerifierNone stops after pruning: candidates count as answers. Used
+	// to measure pruning quality in the Figure 10–12 experiments.
+	VerifierNone
+)
+
+// QueryOptions configures one T-PS query.
+type QueryOptions struct {
+	// Epsilon is the probability threshold ε ∈ (0, 1].
+	Epsilon float64
+	// Delta is the subgraph distance threshold δ ≥ 0.
+	Delta int
+	// SkipProbPruning bypasses the PMI phase (Structure-only pipeline).
+	SkipProbPruning bool
+	// OptBounds selects OPT-SSPBound (set cover + QP); false selects the
+	// plain SSPBound that picks one arbitrary feature pair per relaxed
+	// query (paper §6's SSPBound baseline).
+	OptBounds bool
+	// Verifier selects SMP (default), Exact, or none.
+	Verifier VerifierKind
+	// Verify tunes the SMP estimator / caps Exact's clause count.
+	Verify verify.Options
+	// MaxRelaxed caps |U| and MaxClausesPerRQ caps embeddings collected per
+	// relaxed query during verification.
+	MaxRelaxed      int
+	MaxClausesPerRQ int
+	// Seed drives the randomized pieces (QP rounding, SSPBound pair
+	// choice, SMP) deterministically.
+	Seed int64
+}
+
+func (o QueryOptions) withDefaults() QueryOptions {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.5
+	}
+	if o.MaxClausesPerRQ == 0 {
+		o.MaxClausesPerRQ = 64
+	}
+	if o.Verify.Seed == 0 {
+		o.Verify.Seed = o.Seed + 1
+	}
+	return o
+}
+
+// Stats instruments a query run with the paper's reported metrics.
+type Stats struct {
+	StructFilterCandidates int // Grafil-style filter output ("Structure")
+	StructConfirmed        int // |SCq|
+	PrunedByUpper          int // Pruning 1 discards
+	AcceptedByLower        int // Pruning 2 direct accepts
+	VerifyCandidates       int // graphs sent to verification
+	Answers                int
+
+	RelaxedQueries int // |U|
+
+	TimeStruct time.Duration
+	TimeProb   time.Duration
+	TimeVerify time.Duration
+	TimeTotal  time.Duration
+}
+
+// Result is a query outcome.
+type Result struct {
+	// Answers lists matching graph indices ascending.
+	Answers []int
+	// SSP holds the verified subgraph similarity probability for graphs
+	// that went through verification (others — direct accepts — are not
+	// re-estimated and map to -1).
+	SSP map[int]float64
+	// Stats carries phase instrumentation.
+	Stats Stats
+}
+
+// Query runs the full T-PS pipeline for query graph q.
+func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.Epsilon <= 0 || opt.Epsilon > 1 {
+		return nil, fmt.Errorf("core: epsilon %v outside (0,1]", opt.Epsilon)
+	}
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: negative delta")
+	}
+	start := time.Now()
+	res := &Result{SSP: make(map[int]float64)}
+
+	// Degenerate relaxation: δ ≥ |q| makes every world a match (the empty
+	// relaxed query embeds everywhere), so SSP = 1 ≥ ε for every graph.
+	if opt.Delta >= q.NumEdges() {
+		for gi := range db.Graphs {
+			res.Answers = append(res.Answers, gi)
+			res.SSP[gi] = 1
+		}
+		res.Stats.Answers = len(res.Answers)
+		res.Stats.TimeTotal = time.Since(start)
+		return res, nil
+	}
+
+	// Phase 1: structural pruning (Theorem 1).
+	t0 := time.Now()
+	scq, filterCount := db.Struct.SCq(q, opt.Delta)
+	res.Stats.StructFilterCandidates = filterCount
+	res.Stats.StructConfirmed = len(scq)
+	res.Stats.TimeStruct = time.Since(t0)
+
+	// Relaxed query set U (Lemma 1).
+	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	res.Stats.RelaxedQueries = len(u)
+
+	// Phase 2: probabilistic pruning via PMI.
+	t1 := time.Now()
+	var verifyList []int
+	if opt.SkipProbPruning || db.PMI == nil {
+		verifyList = scq
+	} else {
+		pr := db.newPruner(q, u, opt)
+		for _, gi := range scq {
+			switch pr.judge(gi) {
+			case judgePrune:
+				res.Stats.PrunedByUpper++
+			case judgeAccept:
+				res.Stats.AcceptedByLower++
+				res.Answers = append(res.Answers, gi)
+				res.SSP[gi] = -1
+			default:
+				verifyList = append(verifyList, gi)
+			}
+		}
+	}
+	res.Stats.VerifyCandidates = len(verifyList)
+	res.Stats.TimeProb = time.Since(t1)
+
+	// Phase 3: verification (§5).
+	t2 := time.Now()
+	if opt.Verifier == VerifierNone {
+		res.Answers = append(res.Answers, verifyList...)
+	} else {
+		for _, gi := range verifyList {
+			ssp, err := db.VerifySSP(q, u, gi, opt)
+			if err != nil {
+				return nil, fmt.Errorf("core: verifying graph %d: %w", gi, err)
+			}
+			res.SSP[gi] = ssp
+			if ssp >= opt.Epsilon {
+				res.Answers = append(res.Answers, gi)
+			}
+		}
+	}
+	res.Stats.TimeVerify = time.Since(t2)
+
+	sortInts(res.Answers)
+	res.Stats.Answers = len(res.Answers)
+	res.Stats.TimeTotal = time.Since(start)
+	return res, nil
+}
+
+// VerifySSP computes the subgraph similarity probability of q (with relaxed
+// set u) against graph gi using the configured verifier.
+func (db *Database) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOptions) (float64, error) {
+	opt = opt.withDefaults()
+	clauses := db.collectClauses(u, gi, opt.MaxClausesPerRQ)
+	if len(clauses) == 0 {
+		return 0, nil
+	}
+	switch opt.Verifier {
+	case VerifierExact:
+		return verify.Exact(db.Engines[gi], clauses, opt.Verify.MaxClauses)
+	default:
+		vo := opt.Verify
+		vo.Seed = opt.Seed ^ int64(gi)*0x9e3779b97f4a7c
+		return verify.SMP(db.Engines[gi], clauses, vo)
+	}
+}
+
+// collectClauses gathers the DNF of Equation 22: distinct embedding edge
+// sets of every rq ∈ U in gc, absorbed and deduplicated.
+func (db *Database) collectClauses(u []*graph.Graph, gi, capPerRQ int) []graph.EdgeSet {
+	gc := db.Certain[gi]
+	var clauses []graph.EdgeSet
+	for _, rq := range u {
+		clauses = append(clauses, iso.EdgeSets(rq, gc, nil, capPerRQ)...)
+	}
+	return verify.DedupClauses(clauses)
+}
+
+// ExactSSPByEnumeration computes SSP by full possible-world enumeration —
+// the naive Section 1.1 baseline, used by tests and the smallest benches.
+func (db *Database) ExactSSPByEnumeration(q *graph.Graph, gi, delta int) (float64, error) {
+	u := relax.Relaxed(q, delta, 0)
+	eng := db.Engines[gi]
+	total := 0.0
+	err := prob.EnumerateWorlds(eng, func(w graph.EdgeSet, p float64) bool {
+		for _, rq := range u {
+			if iso.Exists(rq, db.Certain[gi], &w) {
+				total += p
+				break
+			}
+		}
+		return true
+	})
+	return total, err
+}
+
+type judgement int
+
+const (
+	judgeUndecided judgement = iota
+	judgePrune
+	judgeAccept
+)
+
+// pruner evaluates the Pruning 1 / Pruning 2 conditions of §3.1 for one
+// query against any graph, reusing the query-side feature/rq relations.
+type pruner struct {
+	db  *Database
+	u   []*graph.Graph
+	opt QueryOptions
+	rng *rand.Rand
+
+	// supOf[j] = relaxed queries containing feature j (rq ⊇iso f, for the
+	// upper bound); subOf[j] = relaxed queries contained in feature j
+	// (rq ⊆iso f, for the lower bound).
+	supOf [][]int
+	subOf [][]int
+}
+
+func (db *Database) newPruner(q *graph.Graph, u []*graph.Graph, opt QueryOptions) *pruner {
+	p := &pruner{db: db, u: u, opt: opt, rng: rand.New(rand.NewSource(opt.Seed ^ 0x5bf03635))}
+	nf := db.PMI.NumFeatures()
+	p.supOf = make([][]int, nf)
+	p.subOf = make([][]int, nf)
+	for j := 0; j < nf; j++ {
+		f := db.PMI.Features[j]
+		for i, rq := range u {
+			if iso.Exists(f, rq, nil) {
+				p.supOf[j] = append(p.supOf[j], i)
+			}
+			if iso.Exists(rq, f, nil) {
+				p.subOf[j] = append(p.subOf[j], i)
+			}
+		}
+	}
+	return p
+}
+
+// judge applies Pruning 1 (upper < ε ⇒ prune) then Pruning 2 (lower ≥ ε ⇒
+// accept) to graph gi.
+func (p *pruner) judge(gi int) judgement {
+	entries := p.db.PMI.Lookup(gi)
+	usim := p.upperBound(entries)
+	if usim < p.opt.Epsilon {
+		return judgePrune
+	}
+	lsim := p.lowerBound(entries)
+	if lsim >= p.opt.Epsilon {
+		return judgeAccept
+	}
+	return judgeUndecided
+}
+
+// upperBound computes Usim(q). Soundness: rq ⊇iso f means a world
+// containing rq also contains f, so Pr(∨ Brq) ≤ Σ UpperB over any feature
+// family covering U; relaxed queries no feature covers contribute the
+// trivial bound Pr(Brq) ≤ 1.
+//
+// OPT-SSPBound minimizes the covering weight with the greedy set cover
+// (Definition 10, Algorithm 1); plain SSPBound picks one qualifying feature
+// per rq at random (the paper's §6 baseline).
+func (p *pruner) upperBound(entries []pmi.Entry) float64 {
+	if p.opt.OptBounds {
+		in := cover.Instance{NumElements: len(p.u)}
+		covered := make([]bool, len(p.u))
+		for j, e := range entries {
+			if !e.Contained || len(p.supOf[j]) == 0 {
+				continue
+			}
+			in.Sets = append(in.Sets, p.supOf[j])
+			in.Weights = append(in.Weights, e.Upper)
+			for _, i := range p.supOf[j] {
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				in.Sets = append(in.Sets, []int{i})
+				in.Weights = append(in.Weights, 1)
+			}
+		}
+		return cover.Greedy(in).Weight
+	}
+	total := 0.0
+	for i := range p.u {
+		var choices []float64
+		for j, e := range entries {
+			if !e.Contained {
+				continue
+			}
+			for _, ri := range p.supOf[j] {
+				if ri == i {
+					choices = append(choices, e.Upper)
+					break
+				}
+			}
+		}
+		if len(choices) == 0 {
+			total += 1
+			continue
+		}
+		total += choices[p.rng.Intn(len(choices))]
+	}
+	return total
+}
+
+// lowerBound computes Lsim(q). Soundness: rq ⊆iso f with f ⊆iso gc means a
+// world containing f contains rq, so ∨ Bf over any distinct feature family
+// implies ∨ Brq, and a valid lower bound on Pr(∨ Bf) lower-bounds the SSP.
+//
+// Family selection follows the paper — OPT-SSPBound maximizes the
+// Definition 11 objective via the relaxed QP + randomized rounding
+// (Algorithm 2), plain SSPBound picks one qualifying feature per rq at
+// random — but the selected collection is then *evaluated* with the
+// correlation-safe Bonferroni form
+//
+//	Lsim = max( max_j LowerB_j ,  Σ_j LowerB_j − Σ_{i<j} min(U_i, U_j) )
+//
+// which holds for arbitrarily correlated events (Pr(A∧B) ≤ min(Pr A, Pr B)),
+// unlike the paper's Σ L − (Σ U)² whose pairwise product step assumes
+// independence and can over-accept under strong positive correlation.
+func (p *pruner) lowerBound(entries []pmi.Entry) float64 {
+	var chosen []int
+	if p.opt.OptBounds {
+		in := qp.Instance{NumElements: len(p.u)}
+		var featOf []int
+		for j, e := range entries {
+			if !e.Contained || len(p.subOf[j]) == 0 {
+				continue
+			}
+			in.Sets = append(in.Sets, p.subOf[j])
+			in.WL = append(in.WL, e.Lower)
+			in.WU = append(in.WU, e.Upper)
+			featOf = append(featOf, j)
+		}
+		if len(in.Sets) == 0 {
+			return 0
+		}
+		for _, s := range qp.Solve(in, p.rng).Chosen {
+			chosen = append(chosen, featOf[s])
+		}
+	} else {
+		seen := make(map[int]bool)
+		for i := range p.u {
+			var choices []int
+			for j, e := range entries {
+				if !e.Contained {
+					continue
+				}
+				for _, ri := range p.subOf[j] {
+					if ri == i {
+						choices = append(choices, j)
+						break
+					}
+				}
+			}
+			if len(choices) > 0 {
+				j := choices[p.rng.Intn(len(choices))]
+				if !seen[j] {
+					seen[j] = true
+					chosen = append(chosen, j)
+				}
+			}
+		}
+	}
+	return soundLsim(entries, chosen)
+}
+
+// soundLsim evaluates the correlation-safe lower bound of a feature
+// collection, also trying all sub-collections greedily by dropping the
+// weakest member while it improves the bound (fewer features shrink the
+// pairwise penalty faster than they shrink Σ L).
+func soundLsim(entries []pmi.Entry, chosen []int) float64 {
+	best := 0.0
+	cur := append([]int(nil), chosen...)
+	for len(cur) > 0 {
+		if v := bonferroniMin(entries, cur); v > best {
+			best = v
+		}
+		// Drop the member with the smallest L − it contributes least.
+		worst, worstIdx := math.Inf(1), -1
+		for k, j := range cur {
+			if entries[j].Lower < worst {
+				worst, worstIdx = entries[j].Lower, k
+			}
+		}
+		cur = append(cur[:worstIdx], cur[worstIdx+1:]...)
+	}
+	return best
+}
+
+// bonferroniMin is Σ L − Σ_{i<j} min(U_i, U_j), floored by the best single
+// member (a union is at least its largest term).
+func bonferroniMin(entries []pmi.Entry, chosen []int) float64 {
+	sumL, penalty, single := 0.0, 0.0, 0.0
+	for a, j := range chosen {
+		sumL += entries[j].Lower
+		if entries[j].Lower > single {
+			single = entries[j].Lower
+		}
+		for _, k := range chosen[a+1:] {
+			m := entries[j].Upper
+			if entries[k].Upper < m {
+				m = entries[k].Upper
+			}
+			penalty += m
+		}
+	}
+	v := sumL - penalty
+	if single > v {
+		v = single
+	}
+	return v
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/relax"
+)
+
+// TopKItem is one ranked answer.
+type TopKItem struct {
+	Graph int     // database index
+	SSP   float64 // estimated subgraph similarity probability
+}
+
+// QueryTopK returns the k database graphs with the highest SSP for q at
+// distance δ, ranked descending. It extends the paper's threshold queries
+// the way its bounds machinery invites: candidates are verified in
+// decreasing Usim order, and verification stops as soon as the next
+// candidate's upper bound cannot beat the current k-th best SSP.
+// QueryOptions.Epsilon is ignored.
+func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
+	opt = opt.withDefaults()
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive")
+	}
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: negative delta")
+	}
+	if opt.Delta >= q.NumEdges() {
+		out := make([]TopKItem, 0, k)
+		for gi := 0; gi < db.Len() && len(out) < k; gi++ {
+			out = append(out, TopKItem{Graph: gi, SSP: 1})
+		}
+		return out, nil
+	}
+	scq, _ := db.Struct.SCq(q, opt.Delta)
+	if len(scq) == 0 {
+		return nil, nil
+	}
+	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+
+	// Upper bounds order the verification schedule.
+	type cand struct {
+		gi    int
+		upper float64
+	}
+	cands := make([]cand, 0, len(scq))
+	if db.PMI != nil {
+		pr := db.newPruner(q, u, opt)
+		for _, gi := range scq {
+			ub := pr.upperBound(db.PMI.Lookup(gi))
+			if ub > 1 {
+				ub = 1
+			}
+			cands = append(cands, cand{gi, ub})
+		}
+	} else {
+		for _, gi := range scq {
+			cands = append(cands, cand{gi, 1})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].upper > cands[j].upper })
+
+	var top []TopKItem
+	kthBest := func() float64 {
+		if len(top) < k {
+			return 0
+		}
+		return top[len(top)-1].SSP
+	}
+	for _, c := range cands {
+		if len(top) >= k && c.upper <= kthBest() {
+			break // no remaining candidate can enter the top k
+		}
+		ssp, err := db.VerifySSP(q, u, c.gi, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: verifying graph %d: %w", c.gi, err)
+		}
+		if ssp <= 0 {
+			continue
+		}
+		top = append(top, TopKItem{Graph: c.gi, SSP: ssp})
+		sort.Slice(top, func(i, j int) bool { return top[i].SSP > top[j].SSP })
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	return top, nil
+}
+
+// QueryBatch answers many queries concurrently over a bounded worker pool
+// (workers ≤ 0 selects one per query, capped at 8). The database is
+// read-only during queries, so batch execution is safe; each query gets a
+// distinct derived seed for reproducibility.
+func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = len(qs)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	results := make([]*Result, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				qo := opt
+				qo.Seed = opt.Seed + int64(i)*1000003
+				results[i], errs[i] = db.Query(qs[i], qo)
+			}
+		}()
+	}
+	for i := range qs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,125 @@
+// Package cover implements the weighted set cover approximation used to
+// compute the tightest SSP upper bound Usim(q) (paper Definition 10 and
+// Algorithm 1): elements are the relaxed queries rq1..rqa, sets are the
+// indexed features' supersets with weight UpperB(f), and the greedy
+// ln|U|-approximate cover minimizes the summed upper bounds.
+package cover
+
+import "math"
+
+// Instance is a weighted set cover problem over elements 0..NumElements-1.
+type Instance struct {
+	NumElements int
+	Sets        [][]int   // Sets[j] lists the elements covered by set j
+	Weights     []float64 // Weights[j] >= 0
+}
+
+// Result is the greedy cover.
+type Result struct {
+	Chosen []int   // indices of chosen sets, in selection order
+	Weight float64 // total weight of the chosen sets
+	Full   bool    // false when the union of all sets cannot cover U
+}
+
+// Greedy runs the classic weighted greedy: repeatedly pick the set
+// minimizing weight / newly-covered-count (paper Algorithm 1's γ(s)).
+// If the instance is infeasible it covers what it can and reports
+// Full=false.
+func Greedy(in Instance) Result {
+	covered := make([]bool, in.NumElements)
+	remaining := in.NumElements
+	used := make([]bool, len(in.Sets))
+	var res Result
+	for remaining > 0 {
+		best, bestGamma, bestGain := -1, math.Inf(1), 0
+		for j, s := range in.Sets {
+			if used[j] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			gamma := in.Weights[j] / float64(gain)
+			if gamma < bestGamma || (gamma == bestGamma && gain > bestGain) {
+				best, bestGamma, bestGain = j, gamma, gain
+			}
+		}
+		if best < 0 {
+			res.Chosen = chosenList(used)
+			res.Weight = totalWeight(in, used)
+			res.Full = false
+			return res
+		}
+		used[best] = true
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	res.Chosen = chosenList(used)
+	res.Weight = totalWeight(in, used)
+	res.Full = true
+	return res
+}
+
+func chosenList(used []bool) []int {
+	var out []int
+	for j, u := range used {
+		if u {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func totalWeight(in Instance, used []bool) float64 {
+	w := 0.0
+	for j, u := range used {
+		if u {
+			w += in.Weights[j]
+		}
+	}
+	return w
+}
+
+// BruteForceOptimal exhaustively finds the minimum-weight full cover; it is
+// a test oracle and only admits small instances (≤ 20 sets).
+func BruteForceOptimal(in Instance) (weight float64, ok bool) {
+	n := len(in.Sets)
+	if n > 20 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		covered := make([]bool, in.NumElements)
+		cnt := 0
+		w := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			w += in.Weights[j]
+			for _, e := range in.Sets[j] {
+				if !covered[e] {
+					covered[e] = true
+					cnt++
+				}
+			}
+		}
+		if cnt == in.NumElements && w < best {
+			best = w
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}

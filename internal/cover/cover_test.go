@@ -1,0 +1,146 @@
+package cover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyPaperExample3(t *testing.T) {
+	// Paper Example 3: U = {rq1,rq2,rq3}; s1={rq1,rq2} w=0.4,
+	// s2={rq2,rq3} w=0.1, s3={rq1,rq3} w=0.5. Candidate covers are
+	// {s1,s2}=0.5, {s1,s3}=0.9, {s2,s3}=0.6; the tightest Usim is 0.5.
+	in := Instance{
+		NumElements: 3,
+		Sets:        [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Weights:     []float64{0.4, 0.1, 0.5},
+	}
+	res := Greedy(in)
+	if !res.Full {
+		t.Fatal("instance is coverable")
+	}
+	if math.Abs(res.Weight-0.5) > 1e-12 {
+		t.Fatalf("Usim = %v, want 0.5", res.Weight)
+	}
+}
+
+func TestGreedyIsValidCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		nSets := 1 + rng.Intn(8)
+		in := Instance{NumElements: n}
+		for j := 0; j < nSets; j++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(2) == 0 {
+					s = append(s, e)
+				}
+			}
+			in.Sets = append(in.Sets, s)
+			in.Weights = append(in.Weights, rng.Float64())
+		}
+		res := Greedy(in)
+		covered := make([]bool, n)
+		for _, j := range res.Chosen {
+			for _, e := range in.Sets[j] {
+				covered[e] = true
+			}
+		}
+		// Full=true must mean everything covered; Full=false must mean the
+		// instance itself is infeasible.
+		all := true
+		for _, c := range covered {
+			all = all && c
+		}
+		if res.Full != all {
+			return false
+		}
+		if !res.Full {
+			universe := make([]bool, n)
+			for _, s := range in.Sets {
+				for _, e := range s {
+					universe[e] = true
+				}
+			}
+			for _, u := range universe {
+				if !u {
+					return true // genuinely infeasible
+				}
+			}
+			return false // feasible but greedy said infeasible
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyApproximationBound(t *testing.T) {
+	// Greedy weight ≤ OPT · H(|U|) ≤ OPT · (ln|U| + 1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		nSets := 2 + rng.Intn(6)
+		in := Instance{NumElements: n}
+		for j := 0; j < nSets; j++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(2) == 0 {
+					s = append(s, e)
+				}
+			}
+			if len(s) == 0 {
+				s = []int{rng.Intn(n)}
+			}
+			in.Sets = append(in.Sets, s)
+			in.Weights = append(in.Weights, 0.05+rng.Float64())
+		}
+		opt, feasible := BruteForceOptimal(in)
+		res := Greedy(in)
+		if !feasible {
+			return !res.Full
+		}
+		if !res.Full {
+			return false
+		}
+		return res.Weight <= opt*(math.Log(float64(n))+1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	res := Greedy(Instance{NumElements: 0})
+	if !res.Full || res.Weight != 0 || len(res.Chosen) != 0 {
+		t.Fatalf("empty universe: %+v", res)
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	in := Instance{NumElements: 2, Sets: [][]int{{0}}, Weights: []float64{1}}
+	res := Greedy(in)
+	if res.Full {
+		t.Fatal("element 1 is uncoverable")
+	}
+	if len(res.Chosen) != 1 || res.Chosen[0] != 0 {
+		t.Fatalf("should still cover what it can: %+v", res)
+	}
+}
+
+func TestGreedyPrefersCheapPerElement(t *testing.T) {
+	// One expensive set covering everything vs two cheap sets: greedy picks
+	// by weight/gain ratio.
+	in := Instance{
+		NumElements: 2,
+		Sets:        [][]int{{0, 1}, {0}, {1}},
+		Weights:     []float64{1.0, 0.1, 0.1},
+	}
+	res := Greedy(in)
+	if math.Abs(res.Weight-0.2) > 1e-12 {
+		t.Fatalf("weight = %v, want 0.2", res.Weight)
+	}
+}

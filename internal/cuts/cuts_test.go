@@ -1,0 +1,191 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probgraph/internal/graph"
+)
+
+func mk(numEdges int, ids ...graph.EdgeID) graph.EdgeSet {
+	s := graph.NewEdgeSet(numEdges)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func TestPaperExample7(t *testing.T) {
+	// Feature f2's embeddings in graph 002: {e1,e2}, {e2,e3}, {e3,e4}
+	// (0-indexed: {0,1},{1,2},{2,3}). The minimal embedding cuts are
+	// {e2,e4}, {e2,e3} and {e1,e3} — note the paper's Figure 8 lists
+	// {e1,e3,e4}, which is dominated by the true minimal cut {e1,e3}.
+	embs := []graph.EdgeSet{mk(5, 0, 1), mk(5, 1, 2), mk(5, 2, 3)}
+	cutsFound := MinimalCuts(embs, 5, 0)
+	want := map[string]bool{
+		mk(5, 1, 3).Key(): true, // {e2,e4}
+		mk(5, 1, 2).Key(): true, // {e2,e3}
+		mk(5, 0, 2).Key(): true, // {e1,e3}
+	}
+	if len(cutsFound) != len(want) {
+		t.Fatalf("found %d cuts, want %d", len(cutsFound), len(want))
+	}
+	for _, c := range cutsFound {
+		if !want[c.Key()] {
+			t.Fatalf("unexpected cut %v", c.Slice())
+		}
+	}
+}
+
+func TestCutsHitEveryEmbedding(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEdges := 6 + rng.Intn(6)
+		nEmb := 1 + rng.Intn(5)
+		embs := make([]graph.EdgeSet, nEmb)
+		for i := range embs {
+			embs[i] = graph.NewEdgeSet(numEdges)
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				embs[i].Add(graph.EdgeID(rng.Intn(numEdges)))
+			}
+		}
+		for _, c := range MinimalCuts(embs, numEdges, 0) {
+			if !IsCut(c, embs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutsAreMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEdges := 5 + rng.Intn(4)
+		nEmb := 1 + rng.Intn(4)
+		embs := make([]graph.EdgeSet, nEmb)
+		for i := range embs {
+			embs[i] = graph.NewEdgeSet(numEdges)
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				embs[i].Add(graph.EdgeID(rng.Intn(numEdges)))
+			}
+		}
+		for _, c := range MinimalCuts(embs, numEdges, 0) {
+			// Removing any single edge must break the cut property.
+			for _, e := range c.Slice() {
+				smaller := c.Clone()
+				smaller.Remove(e)
+				if IsCut(smaller, embs) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutsCompleteOnSmallInstances(t *testing.T) {
+	// Against brute force: every minimal transversal must be found when no
+	// cap truncation occurs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEdges := 5
+		nEmb := 1 + rng.Intn(3)
+		embs := make([]graph.EdgeSet, nEmb)
+		for i := range embs {
+			embs[i] = graph.NewEdgeSet(numEdges)
+			k := 1 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				embs[i].Add(graph.EdgeID(rng.Intn(numEdges)))
+			}
+		}
+		found := MinimalCuts(embs, numEdges, 1024)
+		keys := make(map[string]bool, len(found))
+		for _, c := range found {
+			keys[c.Key()] = true
+		}
+		// Brute force all subsets; a minimal cut must appear in found.
+		for mask := 1; mask < 1<<numEdges; mask++ {
+			s := graph.NewEdgeSet(numEdges)
+			for e := 0; e < numEdges; e++ {
+				if mask&(1<<e) != 0 {
+					s.Add(graph.EdgeID(e))
+				}
+			}
+			if !IsCut(s, embs) {
+				continue
+			}
+			minimal := true
+			for _, e := range s.Slice() {
+				sub := s.Clone()
+				sub.Remove(e)
+				if IsCut(sub, embs) {
+					minimal = false
+					break
+				}
+			}
+			if minimal && !keys[s.Key()] {
+				t.Logf("seed %d: missing minimal cut %v", seed, s.Slice())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCutsCap(t *testing.T) {
+	// Many disjoint 2-edge embeddings → 2^n minimal cuts; the cap must bite.
+	numEdges := 20
+	var embs []graph.EdgeSet
+	for i := 0; i < 10; i++ {
+		embs = append(embs, mk(numEdges, graph.EdgeID(2*i), graph.EdgeID(2*i+1)))
+	}
+	found := MinimalCuts(embs, numEdges, 16)
+	if len(found) > 16 {
+		t.Fatalf("cap violated: %d cuts", len(found))
+	}
+	for _, c := range found {
+		if !IsCut(c, embs) {
+			t.Fatal("capped result contains a non-cut")
+		}
+	}
+}
+
+func TestEmptyEmbeddings(t *testing.T) {
+	if got := MinimalCuts(nil, 5, 0); got != nil {
+		t.Fatalf("no embeddings should give no cuts, got %v", got)
+	}
+}
+
+func TestParallelGraphShape(t *testing.T) {
+	// Figure 8 shape for f2's embeddings: 3 line graphs of 2 edges each.
+	embs := []graph.EdgeSet{mk(5, 0, 1), mk(5, 1, 2), mk(5, 2, 3)}
+	cg := ParallelGraph(embs)
+	// Vertices: s, t + 3 per embedding (k+1 = 3) = 11.
+	if cg.NumVertices() != 11 {
+		t.Fatalf("cG has %d vertices, want 11", cg.NumVertices())
+	}
+	// Edges: per embedding k labeled + 2 anchors = 4, total 12.
+	if cg.NumEdges() != 12 {
+		t.Fatalf("cG has %d edges, want 12", cg.NumEdges())
+	}
+	if !cg.IsConnected() {
+		t.Fatal("cG must be connected")
+	}
+	// s and t have degree = number of embeddings.
+	if cg.Degree(0) != 3 || cg.Degree(1) != 3 {
+		t.Fatalf("s/t degrees %d/%d, want 3/3", cg.Degree(0), cg.Degree(1))
+	}
+}

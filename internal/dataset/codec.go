@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/prob"
+)
+
+// The database file format is line-oriented:
+//
+//	pgraph <name> [organism]
+//	v <id> <label>
+//	e <u> <v> <label>
+//	jpt <k> <edge1> … <edgek>
+//	p <2^k probabilities>
+//	end
+//
+// Labels use "-" for the empty label. Blank lines and '#' comments are
+// ignored.
+
+// Save writes the database to w.
+func Save(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for gi, pg := range db.Graphs {
+		org := 0
+		if gi < len(db.Organism) {
+			org = db.Organism[gi]
+		}
+		if _, err := fmt.Fprintf(bw, "pgraph %s %d\n", encTok(pg.G.Name()), org); err != nil {
+			return err
+		}
+		for v := 0; v < pg.G.NumVertices(); v++ {
+			fmt.Fprintf(bw, "v %d %s\n", v, encTok(string(pg.G.VertexLabel(graph.VertexID(v)))))
+		}
+		for _, e := range pg.G.Edges() {
+			fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V, encTok(string(e.Label)))
+		}
+		for _, j := range pg.JPTs {
+			fmt.Fprintf(bw, "jpt %d", len(j.Edges))
+			for _, e := range j.Edges {
+				fmt.Fprintf(bw, " %d", e)
+			}
+			fmt.Fprintln(bw)
+			fmt.Fprint(bw, "p")
+			for _, p := range j.P {
+				fmt.Fprintf(bw, " %g", p)
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+func encTok(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func decTok(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	db := &DB{}
+	var (
+		b       *graph.Builder
+		jpts    []prob.JPT
+		pending *prob.JPT
+		org     int
+		line    int
+	)
+	flush := func() error {
+		if b == nil {
+			return nil
+		}
+		if pending != nil {
+			return fmt.Errorf("dataset: line %d: jpt without probability row", line)
+		}
+		g := b.Build()
+		pg, err := prob.New(g, jpts)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		db.Graphs = append(db.Graphs, pg)
+		db.Organism = append(db.Organism, org)
+		b, jpts, pending = nil, nil, nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "pgraph":
+			if b != nil {
+				return nil, fmt.Errorf("dataset: line %d: nested pgraph", line)
+			}
+			if len(f) < 2 {
+				return nil, fmt.Errorf("dataset: line %d: want 'pgraph <name> [organism]'", line)
+			}
+			b = graph.NewBuilder(decTok(f[1]))
+			org = 0
+			if len(f) >= 3 {
+				v, err := strconv.Atoi(f[2])
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad organism %q", line, f[2])
+				}
+				org = v
+			}
+		case "v":
+			if b == nil || len(f) != 3 {
+				return nil, fmt.Errorf("dataset: line %d: bad vertex line", line)
+			}
+			b.AddVertex(graph.Label(decTok(f[2])))
+		case "e":
+			if b == nil || len(f) != 4 {
+				return nil, fmt.Errorf("dataset: line %d: bad edge line", line)
+			}
+			u, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad endpoints", line)
+			}
+			if _, err := b.AddEdge(graph.VertexID(u), graph.VertexID(v), graph.Label(decTok(f[3]))); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+		case "jpt":
+			if b == nil || len(f) < 3 {
+				return nil, fmt.Errorf("dataset: line %d: bad jpt line", line)
+			}
+			if pending != nil {
+				return nil, fmt.Errorf("dataset: line %d: jpt before previous probability row", line)
+			}
+			k, err := strconv.Atoi(f[1])
+			if err != nil || len(f) != 2+k {
+				return nil, fmt.Errorf("dataset: line %d: jpt arity mismatch", line)
+			}
+			j := prob.JPT{}
+			for _, tok := range f[2:] {
+				e, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad edge id %q", line, tok)
+				}
+				j.Edges = append(j.Edges, graph.EdgeID(e))
+			}
+			pending = &j
+		case "p":
+			if pending == nil {
+				return nil, fmt.Errorf("dataset: line %d: probability row without jpt", line)
+			}
+			want := 1 << len(pending.Edges)
+			if len(f)-1 != want {
+				return nil, fmt.Errorf("dataset: line %d: want %d probabilities, got %d", line, want, len(f)-1)
+			}
+			for _, tok := range f[1:] {
+				v, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad probability %q", line, tok)
+				}
+				pending.P = append(pending.P, v)
+			}
+			jpts = append(jpts, *pending)
+			pending = nil
+		case "end":
+			if b == nil {
+				return nil, fmt.Errorf("dataset: line %d: stray end", line)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown directive %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b != nil {
+		return nil, fmt.Errorf("dataset: unterminated pgraph block at EOF")
+	}
+	return db, nil
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Encode writes g in the line-oriented text format shared by the dataset
+// files and the PMI index:
+//
+//	g <name>
+//	v <id> <label>
+//	e <u> <v> <label>
+//	end
+//
+// Labels are written verbatim and must not contain whitespace or newlines.
+func Encode(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintf(w, "g %s\n", encName(g.Name())); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "v %d %s\n", v, encLabel(g.VertexLabel(VertexID(v)))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(w, "e %d %d %s\n", e.U, e.V, encLabel(e.Label)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "end")
+	return err
+}
+
+func encName(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func encLabel(l Label) string {
+	if l == "" {
+		return "-"
+	}
+	return string(l)
+}
+
+func decLabel(s string) Label {
+	if s == "-" {
+		return ""
+	}
+	return Label(s)
+}
+
+// Decoder reads a stream of graphs in the Encode format.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Decoder{sc: sc}
+}
+
+// NewDecoderFromScanner returns a Decoder sharing an existing scanner, so a
+// caller can interleave graph blocks with its own line-oriented records
+// (the PMI index file does this).
+func NewDecoderFromScanner(sc *bufio.Scanner) *Decoder {
+	return &Decoder{sc: sc}
+}
+
+// Decode reads the next graph. It returns io.EOF when the stream is
+// exhausted.
+func (d *Decoder) Decode() (*Graph, error) {
+	var b *Builder
+	for d.sc.Scan() {
+		d.line++
+		line := strings.TrimSpace(d.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "g":
+			if b != nil {
+				return nil, fmt.Errorf("graph codec line %d: nested graph header", d.line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph codec line %d: want 'g <name>'", d.line)
+			}
+			name := fields[1]
+			if name == "-" {
+				name = ""
+			}
+			b = NewBuilder(name)
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph codec line %d: vertex outside graph block", d.line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph codec line %d: want 'v <id> <label>'", d.line)
+			}
+			var id int
+			if _, err := fmt.Sscanf(fields[1], "%d", &id); err != nil {
+				return nil, fmt.Errorf("graph codec line %d: bad vertex id %q", d.line, fields[1])
+			}
+			if id != len(b.vlabel) {
+				return nil, fmt.Errorf("graph codec line %d: vertex ids must be dense and ordered, got %d want %d", d.line, id, len(b.vlabel))
+			}
+			b.AddVertex(decLabel(fields[2]))
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph codec line %d: edge outside graph block", d.line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph codec line %d: want 'e <u> <v> <label>'", d.line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[1], "%d", &u); err != nil {
+				return nil, fmt.Errorf("graph codec line %d: bad endpoint %q", d.line, fields[1])
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &v); err != nil {
+				return nil, fmt.Errorf("graph codec line %d: bad endpoint %q", d.line, fields[2])
+			}
+			if _, err := b.AddEdge(VertexID(u), VertexID(v), decLabel(fields[3])); err != nil {
+				return nil, fmt.Errorf("graph codec line %d: %v", d.line, err)
+			}
+		case "end":
+			if b == nil {
+				return nil, fmt.Errorf("graph codec line %d: 'end' outside graph block", d.line)
+			}
+			return b.Build(), nil
+		default:
+			return nil, fmt.Errorf("graph codec line %d: unknown directive %q", d.line, fields[0])
+		}
+	}
+	if err := d.sc.Err(); err != nil {
+		return nil, err
+	}
+	if b != nil {
+		return nil, fmt.Errorf("graph codec: unterminated graph block at EOF")
+	}
+	return nil, io.EOF
+}

@@ -1,0 +1,62 @@
+// Package mcs computes the paper's subgraph distance (Definition 8):
+// dis(q, t) = |q| − |mcs(q, t)|, where mcs is the maximum common subgraph —
+// the largest edge-subgraph of q that is subgraph-isomorphic to t
+// (Definition 7).
+//
+// The search enumerates edge-deletion levels bottom-up (delete 0 edges,
+// then 1, …), exactly mirroring the relaxed-query semantics used by the
+// rest of the pipeline, with canonical-code deduplication at each level and
+// an early exit at the caller's distance budget. This makes Distance(q, t,
+// δ) cost O(Σ_{d≤δ} C(|q|, d)) isomorphism tests — cheap for the small δ
+// that similarity queries use — rather than a full unbounded MCS search.
+package mcs
+
+import (
+	"probgraph/internal/graph"
+	"probgraph/internal/iso"
+	"probgraph/internal/relax"
+)
+
+// Distance returns dis(q, t) if it is ≤ maxDelta, and maxDelta+1 otherwise.
+// mask optionally restricts t to a possible world. Isolated vertices of q do
+// not contribute: Definition 8's distance counts edges only.
+func Distance(q, t *graph.Graph, mask *graph.EdgeSet, maxDelta int) int {
+	if maxDelta < 0 {
+		maxDelta = 0
+	}
+	q = q.DropIsolated()
+	for d := 0; d <= maxDelta; d++ {
+		for _, rq := range relax.Relaxed(q, d, 0) {
+			if iso.Exists(rq, t, mask) {
+				return d
+			}
+		}
+	}
+	return maxDelta + 1
+}
+
+// Similar reports whether dis(q, t) ≤ delta (the paper's q ⊆sim t).
+func Similar(q, t *graph.Graph, mask *graph.EdgeSet, delta int) bool {
+	return Distance(q, t, mask, delta) <= delta
+}
+
+// SimilarVia reports whether any of the pre-relaxed graphs embeds in t
+// under mask. Callers that already hold U = Relaxed(q, δ) avoid
+// recomputing it; per Lemma 1 this is equivalent to Similar(q, t, mask, δ)
+// for U built at level δ.
+func SimilarVia(relaxed []*graph.Graph, t *graph.Graph, mask *graph.EdgeSet) bool {
+	for _, rq := range relaxed {
+		if iso.Exists(rq, t, mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// MCSEdges returns |mcs(q, t)| computed within the given budget: if the
+// distance exceeds maxDelta the result is |q| − maxDelta − 1 as a lower
+// bound indicator. Use Distance when only the threshold matters.
+func MCSEdges(q, t *graph.Graph, mask *graph.EdgeSet, maxDelta int) int {
+	d := Distance(q, t, mask, maxDelta)
+	return q.NumEdges() - d
+}

@@ -1,0 +1,161 @@
+package mwclique
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates all subsets.
+func bruteForce(g *Graph) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<g.N; mask++ {
+		w := 0.0
+		ok := true
+		var nodes []int
+		for i := 0; i < g.N && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for _, j := range nodes {
+				if !g.Adj[i][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				nodes = append(nodes, i)
+				w += g.Weight[i]
+			}
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func randomCliqueGraph(rng *rand.Rand, n int, density float64) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.Weight[i] = rng.Float64() * 3
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCliqueGraph(rng, 2+rng.Intn(10), 0.2+0.6*rng.Float64())
+		res := Solve(g)
+		want := bruteForce(g)
+		if math.Abs(res.Weight-want) > 1e-9 {
+			t.Logf("seed %d: got %v want %v", seed, res.Weight, want)
+			return false
+		}
+		// The reported clique must actually be a clique with that weight.
+		w := 0.0
+		for i, u := range res.Nodes {
+			w += g.Weight[u]
+			for _, v := range res.Nodes[i+1:] {
+				if !g.Adj[u][v] {
+					t.Logf("seed %d: reported set not a clique", seed)
+					return false
+				}
+			}
+		}
+		return math.Abs(w-res.Weight) < 1e-9 && res.Exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	if r := Solve(NewGraph(0)); r.Weight != 0 || len(r.Nodes) != 0 {
+		t.Fatal("empty graph should give empty clique")
+	}
+	g := NewGraph(1)
+	g.Weight[0] = 2.5
+	r := Solve(g)
+	if r.Weight != 2.5 || len(r.Nodes) != 1 {
+		t.Fatalf("single node: %+v", r)
+	}
+}
+
+func TestSolveNoEdges(t *testing.T) {
+	g := NewGraph(4)
+	for i := range g.Weight {
+		g.Weight[i] = float64(i + 1)
+	}
+	r := Solve(g)
+	// Best clique in an edgeless graph is the single heaviest node.
+	if r.Weight != 4 || len(r.Nodes) != 1 || r.Nodes[0] != 3 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestSolveCompleteGraph(t *testing.T) {
+	g := NewGraph(5)
+	total := 0.0
+	for i := 0; i < 5; i++ {
+		g.Weight[i] = float64(i) + 0.5
+		total += g.Weight[i]
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	r := Solve(g)
+	if math.Abs(r.Weight-total) > 1e-9 || len(r.Nodes) != 5 {
+		t.Fatalf("complete graph: %+v, want all nodes weight %v", r, total)
+	}
+}
+
+func TestGreedyFallbackLargeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomCliqueGraph(rng, MaxExactNodes+10, 0.3)
+	r := Solve(g)
+	if r.Exact {
+		t.Fatal("large input should use greedy fallback")
+	}
+	for i, u := range r.Nodes {
+		for _, v := range r.Nodes[i+1:] {
+			if !g.Adj[u][v] {
+				t.Fatal("greedy result not a clique")
+			}
+		}
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	if g.Adj[0][0] {
+		t.Fatal("self edge must be ignored")
+	}
+}
+
+func TestPaperExample6Shape(t *testing.T) {
+	// Paper Example 6: three embeddings EM1, EM2, EM3 where EM1 ⟂ EM3 only.
+	// Node weights −ln(1−p) with p1=p3 chosen so the pair beats EM2 alone.
+	g := NewGraph(3)
+	p := []float64{0.14, 0.11, 0.14} // Pr(Bfi|COR)-style values
+	for i, pi := range p {
+		g.Weight[i] = -math.Log(1 - pi)
+	}
+	g.AddEdge(0, 2)
+	r := Solve(g)
+	if len(r.Nodes) != 2 || r.Nodes[0] != 0 || r.Nodes[1] != 2 {
+		t.Fatalf("expected clique {0,2}, got %v", r.Nodes)
+	}
+	// LowerB = 1 − e^{−weight} should beat the single-node alternative.
+	if lb := 1 - math.Exp(-r.Weight); lb <= p[1] {
+		t.Fatalf("pair bound %v not tighter than singleton %v", lb, p[1])
+	}
+}

@@ -1,0 +1,38 @@
+package pmi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probgraph/internal/iso"
+	"probgraph/internal/prob"
+)
+
+// AddGraph appends one column to the matrix: SIP bounds of every indexed
+// feature against the new graph. The feature vocabulary is not re-mined —
+// the standard trade-off for incremental maintenance of feature-based graph
+// indexes (pruning power for the new graph is bounded by the existing
+// features; rebuild periodically if the data distribution drifts).
+func (idx *Index) AddGraph(pg *prob.PGraph, eng *prob.Engine) error {
+	opt := idx.Opt.withDefaults()
+	gi := 0
+	if len(idx.Entries) > 0 {
+		gi = len(idx.Entries[0])
+	}
+	b := &graphBuilder{
+		opt: opt, pg: pg, eng: eng,
+		rng: rand.New(rand.NewSource(opt.Seed ^ int64(gi)*0x9e3779b97f4a7c)),
+	}
+	for fi, fg := range idx.Features {
+		var entry Entry
+		if iso.Exists(fg, pg.G, nil) {
+			var err error
+			entry, err = b.bounds(fg)
+			if err != nil {
+				return fmt.Errorf("pmi: feature %d on new graph: %w", fi, err)
+			}
+		}
+		idx.Entries[fi] = append(idx.Entries[fi], entry)
+	}
+	return nil
+}

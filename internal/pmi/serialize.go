@@ -1,0 +1,136 @@
+package pmi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probgraph/internal/graph"
+)
+
+// The index file format is line-oriented and self-describing:
+//
+//	pmi v1 <numFeatures> <numGraphs>
+//	feature <idx>
+//	  ... graph codec block (g/v/e/end) ...
+//	row <idx> <numEntries>
+//	<gi> <lower> <upper>        (contained entries only)
+//	endrow
+//
+// Uncontained entries are implicit (the paper's ⟨0⟩).
+
+// Save writes the index to w.
+func (idx *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	numGraphs := 0
+	if len(idx.Entries) > 0 {
+		numGraphs = len(idx.Entries[0])
+	}
+	if _, err := fmt.Fprintf(bw, "pmi v1 %d %d\n", len(idx.Features), numGraphs); err != nil {
+		return err
+	}
+	for fi, fg := range idx.Features {
+		fmt.Fprintf(bw, "feature %d\n", fi)
+		if err := graph.Encode(bw, fg); err != nil {
+			return err
+		}
+		contained := 0
+		for _, e := range idx.Entries[fi] {
+			if e.Contained {
+				contained++
+			}
+		}
+		fmt.Fprintf(bw, "row %d %d\n", fi, contained)
+		for gi, e := range idx.Entries[fi] {
+			if e.Contained {
+				fmt.Fprintf(bw, "%d %.17g %.17g\n", gi, e.Lower, e.Upper)
+			}
+		}
+		fmt.Fprintln(bw, "endrow")
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save. The caller is responsible for
+// pairing it with the database it was built from (numGraphs must match).
+func Load(r io.Reader) (*Index, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	header, err := readNonEmpty(sc)
+	if err != nil {
+		return nil, fmt.Errorf("pmi: reading header: %w", err)
+	}
+	var nf, ng int
+	if _, err := fmt.Sscanf(header, "pmi v1 %d %d", &nf, &ng); err != nil {
+		return nil, fmt.Errorf("pmi: bad header %q", header)
+	}
+	idx := &Index{}
+	dec := graph.NewDecoderFromScanner(sc)
+	for fi := 0; fi < nf; fi++ {
+		line, err := readNonEmpty(sc)
+		if err != nil {
+			return nil, err
+		}
+		if line != fmt.Sprintf("feature %d", fi) {
+			return nil, fmt.Errorf("pmi: want 'feature %d', got %q", fi, line)
+		}
+		fg, err := dec.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("pmi: feature %d graph: %w", fi, err)
+		}
+		idx.Features = append(idx.Features, fg)
+		idx.Codes = append(idx.Codes, graph.CanonicalCode(fg))
+
+		line, err = readNonEmpty(sc)
+		if err != nil {
+			return nil, err
+		}
+		var rowIdx, contained int
+		if _, err := fmt.Sscanf(line, "row %d %d", &rowIdx, &contained); err != nil || rowIdx != fi {
+			return nil, fmt.Errorf("pmi: bad row header %q for feature %d", line, fi)
+		}
+		row := make([]Entry, ng)
+		for c := 0; c < contained; c++ {
+			line, err = readNonEmpty(sc)
+			if err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pmi: bad entry line %q", line)
+			}
+			gi, err1 := strconv.Atoi(fields[0])
+			lo, err2 := strconv.ParseFloat(fields[1], 64)
+			hi, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil || gi < 0 || gi >= ng {
+				return nil, fmt.Errorf("pmi: bad entry %q", line)
+			}
+			row[gi] = Entry{Contained: true, Lower: lo, Upper: hi}
+		}
+		line, err = readNonEmpty(sc)
+		if err != nil {
+			return nil, err
+		}
+		if line != "endrow" {
+			return nil, fmt.Errorf("pmi: want 'endrow', got %q", line)
+		}
+		idx.Entries = append(idx.Entries, row)
+	}
+	return idx, nil
+}
+
+// readNonEmpty reads the next non-blank, non-comment line, trimmed.
+func readNonEmpty(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			return line, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("pmi: unexpected EOF")
+}

@@ -1,0 +1,71 @@
+package pmi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	graphs, engines, feats := buildSmallDB(t, 88, 5, true)
+	idx, err := Build(graphs, engines, feats, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFeatures() != idx.NumFeatures() {
+		t.Fatalf("features %d vs %d", back.NumFeatures(), idx.NumFeatures())
+	}
+	for fi := range idx.Features {
+		if back.Codes[fi] != idx.Codes[fi] {
+			t.Fatalf("feature %d code mismatch", fi)
+		}
+		if len(back.Entries[fi]) != len(idx.Entries[fi]) {
+			t.Fatalf("feature %d row length mismatch", fi)
+		}
+		for gi := range idx.Entries[fi] {
+			a, b := idx.Entries[fi][gi], back.Entries[fi][gi]
+			if a.Contained != b.Contained || a.Lower != b.Lower || a.Upper != b.Upper {
+				t.Fatalf("entry (%d,%d): %+v vs %+v", fi, gi, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"bogus header\n",          // bad magic
+		"pmi v1 1 2\n",            // truncated
+		"pmi v1 1 2\nfeature 5\n", // wrong feature index
+		"pmi v1 1 2\nfeature 0\ng f\nv 0 a\nend\nrow 0 1\nbadline\nendrow\n",   // bad entry
+		"pmi v1 1 2\nfeature 0\ng f\nv 0 a\nend\nrow 0 1\n9 0.1 0.2\nendrow\n", // gi out of range
+	}
+	for i, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSaveLoadEmptyIndex(t *testing.T) {
+	idx := &Index{}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFeatures() != 0 {
+		t.Fatal("empty index round trip failed")
+	}
+}

@@ -1,0 +1,135 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probgraph/internal/graph"
+)
+
+// Gibbs is an approximate possible-world sampler for models whose coupling
+// is too dense for exact variable elimination (Engine construction fails
+// beyond MaxFactorWidth). It runs single-site Gibbs sweeps over the
+// uncertain edges; the chain is ergodic whenever every JPT entry is
+// strictly positive (zero entries can disconnect the state space, so
+// NewGibbs rejects them).
+//
+// Use Engine when it is feasible — it is exact and faster per sample.
+// Gibbs exists so that adversarially dense correlation structures degrade
+// to approximation instead of failure.
+type Gibbs struct {
+	pg        *PGraph
+	factorsOf [][]int // variable -> indices into pg.JPTs
+	assign    []bool
+	world     graph.EdgeSet
+}
+
+// NewGibbs prepares a sampler with all uncertain edges initially absent.
+func NewGibbs(pg *PGraph) (*Gibbs, error) {
+	for ji, j := range pg.JPTs {
+		for ri, p := range j.P {
+			if p <= 0 {
+				return nil, fmt.Errorf("prob: gibbs requires strictly positive JPTs (JPT %d row %d is %v)", ji, ri, p)
+			}
+		}
+	}
+	g := &Gibbs{
+		pg:        pg,
+		factorsOf: make([][]int, pg.NumUncertain()),
+		assign:    make([]bool, pg.NumUncertain()),
+		world:     pg.NewWorld(),
+	}
+	for ji, j := range pg.JPTs {
+		for _, e := range j.Edges {
+			v := pg.varOf[e]
+			g.factorsOf[v] = append(g.factorsOf[v], ji)
+		}
+	}
+	return g, nil
+}
+
+// sweep resamples every variable once from its full conditional.
+func (g *Gibbs) sweep(rng *rand.Rand) {
+	for v := range g.assign {
+		w0, w1 := 1.0, 1.0
+		for _, ji := range g.factorsOf[v] {
+			j := &g.pg.JPTs[ji]
+			idx0, idx1 := 0, 0
+			for bi, e := range j.Edges {
+				ev := g.pg.varOf[e]
+				if ev == v {
+					idx1 |= 1 << bi
+					continue
+				}
+				if g.assign[ev] {
+					idx0 |= 1 << bi
+					idx1 |= 1 << bi
+				}
+			}
+			w0 *= j.P[idx0]
+			w1 *= j.P[idx1]
+		}
+		total := w0 + w1
+		g.assign[v] = total > 0 && rng.Float64()*total < w1
+	}
+}
+
+// Run performs burnin sweeps, then emits samples taken every thin sweeps
+// until visit returns false or count samples were delivered (count <= 0
+// means unbounded). The world passed to visit is reused; clone to retain.
+func (g *Gibbs) Run(rng *rand.Rand, burnin, thin, count int, visit func(world graph.EdgeSet) bool) {
+	if thin < 1 {
+		thin = 1
+	}
+	for i := 0; i < burnin; i++ {
+		g.sweep(rng)
+	}
+	emitted := 0
+	for count <= 0 || emitted < count {
+		for i := 0; i < thin; i++ {
+			g.sweep(rng)
+		}
+		g.world.CopyFrom(g.pg.NewWorld())
+		for v, present := range g.assign {
+			if present {
+				g.world.Add(g.pg.uncertain[v])
+			}
+		}
+		emitted++
+		if !visit(g.world) {
+			return
+		}
+	}
+}
+
+// EstimateMarginals runs the chain and returns per-edge presence
+// frequencies (certain edges report 1).
+func (g *Gibbs) EstimateMarginals(rng *rand.Rand, burnin, thin, samples int) []float64 {
+	counts := make([]int, g.pg.G.NumEdges())
+	n := 0
+	g.Run(rng, burnin, thin, samples, func(w graph.EdgeSet) bool {
+		n++
+		for e := 0; e < g.pg.G.NumEdges(); e++ {
+			if w.Contains(graph.EdgeID(e)) {
+				counts[e]++
+			}
+		}
+		return true
+	})
+	out := make([]float64, len(counts))
+	for e, c := range counts {
+		if g.pg.IsUncertain(graph.EdgeID(e)) {
+			out[e] = float64(c) / float64(maxInt(n, 1))
+		} else {
+			out[e] = 1
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probgraph/internal/graph"
+)
+
+func TestGibbsMatchesExactMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	pg := randomPGraph(rng, 6, 6)
+	eng, err := NewEngine(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewGibbs(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gb.EstimateMarginals(rng, 500, 2, 20000)
+	for e := 0; e < pg.G.NumEdges(); e++ {
+		want, err := eng.MarginalPresent(graph.EdgeID(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[e]-want) > 0.03 {
+			t.Fatalf("edge %d: gibbs %v vs exact %v", e, got[e], want)
+		}
+	}
+}
+
+func TestGibbsRejectsZeroEntries(t *testing.T) {
+	g := chain(3)
+	j := JPT{Edges: []graph.EdgeID{0, 1}, P: []float64{0.5, 0, 0.25, 0.25}}
+	pg := MustNew(g, []JPT{j})
+	if _, err := NewGibbs(pg); err == nil {
+		t.Fatal("zero JPT entry must be rejected")
+	}
+}
+
+func TestGibbsRunStopsOnVisitFalse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pg := randomPGraph(rng, 5, 4)
+	gb, err := NewGibbs(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	gb.Run(rng, 10, 1, 0, func(graph.EdgeSet) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visit called %d times, want 5", n)
+	}
+}
+
+func TestGibbsWorldsContainCertainEdges(t *testing.T) {
+	g := chain(4) // edges 0,1,2; only 1 uncertain
+	pg := MustNew(g, []JPT{NewIndependentJPT(1, 0.5)})
+	gb, err := NewGibbs(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	gb.Run(rng, 5, 1, 20, func(w graph.EdgeSet) bool {
+		if !w.Contains(0) || !w.Contains(2) {
+			t.Fatal("certain edge missing from gibbs world")
+		}
+		return true
+	})
+}

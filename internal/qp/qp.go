@@ -1,0 +1,251 @@
+// Package qp computes the tightest SSP lower bound Lsim(q) (paper
+// Definition 11, Equation 9, Algorithm 2): choose a sub-collection C of
+// feature-derived subsets covering the relaxed-query set U so as to
+// maximize
+//
+//	Σ_{s∈C} wL(s) − Σ_{s,t∈C} wU(s)·wU(t)
+//
+// The integer program is relaxed to a box-and-coverage-constrained concave
+// QP, solved by penalized projected gradient ascent (stdlib-only stand-in
+// for the polynomial solver of Kozlov–Tarasov–Hacijan referenced by the
+// paper), then rounded by the paper's randomized rounding: 2·ln|U| passes
+// picking each set independently with probability x*_s, which covers U with
+// probability ≥ 1 − 1/|U| (paper Theorem 5).
+package qp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Instance describes the Lsim optimization problem.
+type Instance struct {
+	NumElements int       // |U|
+	Sets        [][]int   // Sets[j] lists elements of U covered by set j
+	WL          []float64 // lower-bound weights wL(s)
+	WU          []float64 // upper-bound weights wU(s)
+}
+
+// Result carries the rounded selection.
+type Result struct {
+	Chosen    []int     // selected set indices (ascending)
+	Objective float64   // Definition 11 value of Chosen: Σ wL − (Σ wU)²
+	Covered   bool      // whether the rounded selection covers U
+	Relaxed   []float64 // the fractional optimum x*, for diagnostics
+}
+
+// Solve runs the relaxation and the randomized rounding. The rng drives the
+// rounding only, so results are reproducible under a fixed seed. Infeasible
+// instances (some element uncovered by every set) yield Covered=false with
+// a best-effort selection.
+func Solve(in Instance, rng *rand.Rand) Result {
+	n := len(in.Sets)
+	if n == 0 || in.NumElements == 0 {
+		return Result{Covered: in.NumElements == 0}
+	}
+	x := relax(in)
+	res := round(in, x, rng)
+	res.Relaxed = x
+	return res
+}
+
+// relax maximizes f(x) = Σ wL·x − (Σ wU·x)² over the box [0,1]^n subject to
+// coverage Σ_{s∋e} x_s ≥ 1, via projected gradient ascent on a quadratic
+// penalty formulation with an increasing penalty coefficient.
+//
+// Note the paper's quadratic term Σ_{si,sj∈C} wU(si)wU(sj) ranges over all
+// ordered pairs, i.e. (Σ wU·x)²; concavity of −(Σ wU·x)² makes the
+// relaxation a convex program.
+func relax(in Instance) []float64 {
+	n := len(in.Sets)
+	// membership[e] = sets containing element e.
+	membership := make([][]int, in.NumElements)
+	for j, s := range in.Sets {
+		for _, e := range s {
+			membership[e] = append(membership[e], j)
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5
+	}
+	grad := make([]float64, n)
+	for _, rho := range []float64{1, 10, 100, 1000} {
+		step := 0.05
+		for iter := 0; iter < 400; iter++ {
+			// Gradient of objective.
+			dot := 0.0
+			for j := range x {
+				dot += in.WU[j] * x[j]
+			}
+			for j := range grad {
+				grad[j] = in.WL[j] - 2*dot*in.WU[j]
+			}
+			// Penalty gradient: rho * Σ_e max(0, 1 − Σ x)² adds
+			// 2·rho·max(0,1−Σx) to each member set.
+			for e, mem := range membership {
+				slack := 1.0
+				for _, j := range mem {
+					slack -= x[j]
+				}
+				_ = e
+				if slack > 0 {
+					for _, j := range mem {
+						grad[j] += 2 * rho * slack
+					}
+				}
+			}
+			moved := 0.0
+			for j := range x {
+				nx := x[j] + step*grad[j]
+				if nx < 0 {
+					nx = 0
+				}
+				if nx > 1 {
+					nx = 1
+				}
+				moved += math.Abs(nx - x[j])
+				x[j] = nx
+			}
+			if moved < 1e-9 {
+				break
+			}
+			step *= 0.995
+		}
+	}
+	return x
+}
+
+// round implements the paper's Algorithm 2: repeat 2·ln|U| times, each pass
+// independently picking every set with probability x*_s, accumulating the
+// Lsim objective as sets join C. A final repair pass adds arbitrary covering
+// sets for still-uncovered elements (keeping the bound valid — adding sets
+// can only loosen the computed Lsim value, never invalidate it, since the
+// objective accounts for every added set).
+func round(in Instance, x []float64, rng *rand.Rand) Result {
+	n := len(in.Sets)
+	passes := int(math.Ceil(2 * math.Log(float64(maxInt(in.NumElements, 2)))))
+	chosen := make([]bool, n)
+	for p := 0; p < passes; p++ {
+		for j := 0; j < n; j++ {
+			if !chosen[j] && rng.Float64() < x[j] {
+				chosen[j] = true
+			}
+		}
+	}
+	covered := func() []bool {
+		cov := make([]bool, in.NumElements)
+		for j := range chosen {
+			if chosen[j] {
+				for _, e := range in.Sets[j] {
+					cov[e] = true
+				}
+			}
+		}
+		return cov
+	}
+	cov := covered()
+	// Repair: greedily cover leftovers with the set of max wL − wU penalty
+	// contribution (any covering set keeps validity).
+	for e := 0; e < in.NumElements; e++ {
+		if cov[e] {
+			continue
+		}
+		best := -1
+		bestScore := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if chosen[j] {
+				continue
+			}
+			for _, el := range in.Sets[j] {
+				if el == e {
+					score := in.WL[j] - in.WU[j]
+					if score > bestScore {
+						best, bestScore = j, score
+					}
+					break
+				}
+			}
+		}
+		if best >= 0 {
+			chosen[best] = true
+			cov = covered()
+		}
+	}
+	// Objective: the paper's Algorithm 2 accumulates
+	// Lsim += wL(s) − wU(s)·Σ_{t∈C} wU(t) as sets join C, which sums the
+	// quadratic term over i ≤ j only. We evaluate the conservative
+	// Definition 11 form Σ wL − (Σ wU)² instead (all ordered pairs): it is
+	// never larger, so the acceptance rule Lsim ≥ ε stays safe regardless
+	// of how the paper's Σ_{1≤i,j≤a} is read.
+	full := true
+	for _, c := range cov {
+		if !c {
+			full = false
+			break
+		}
+	}
+	var list []int
+	for j, c := range chosen {
+		if c {
+			list = append(list, j)
+		}
+	}
+	return Result{Chosen: list, Objective: ObjectiveOf(in, list), Covered: full}
+}
+
+// ObjectiveOf evaluates the paper's Definition 11 objective for a selection.
+func ObjectiveOf(in Instance, selection []int) float64 {
+	sumL, sumU := 0.0, 0.0
+	for _, j := range selection {
+		sumL += in.WL[j]
+		sumU += in.WU[j]
+	}
+	return sumL - sumU*sumU
+}
+
+// BruteForceOptimal exhaustively maximizes the Definition 11 objective over
+// covering selections (test oracle, ≤ 20 sets).
+func BruteForceOptimal(in Instance) (best float64, ok bool) {
+	n := len(in.Sets)
+	if n > 20 {
+		return 0, false
+	}
+	best = math.Inf(-1)
+	for mask := 1; mask < 1<<n; mask++ {
+		cov := make([]bool, in.NumElements)
+		var sel []int
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				sel = append(sel, j)
+				for _, e := range in.Sets[j] {
+					cov[e] = true
+				}
+			}
+		}
+		full := true
+		for _, c := range cov {
+			if !c {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		if v := ObjectiveOf(in, sel); v > best {
+			best = v
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0, false
+	}
+	return best, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

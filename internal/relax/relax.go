@@ -1,0 +1,78 @@
+// Package relax generates the relaxed query set U = {rq1..rqa} of the paper
+// (§3.1): the canonically distinct graphs obtained from a query q by
+// deleting exactly δ edges. By Lemma 1, q is subgraph-similar to a world g′
+// (distance ≤ δ) iff some rq ∈ U is subgraph-isomorphic to g′, so U is the
+// bridge between similarity and plain isomorphism everywhere downstream
+// (pruning conditions, verification DNF).
+//
+// Relabeling operations are subsumed by deletion under the paper's
+// Definition 8 distance (a relabeled edge contributes to the distance
+// exactly like a missing edge, and the maximum-relaxation level dominates
+// the union per Lemma 1's final step).
+package relax
+
+import (
+	"probgraph/internal/graph"
+)
+
+// DefaultMaxSize bounds |U| to keep adversarial queries from exploding the
+// C(|q|, δ) enumeration.
+const DefaultMaxSize = 4096
+
+// Relaxed returns the canonically distinct graphs obtained by deleting
+// exactly delta edges from q, with isolated vertices dropped. delta == 0
+// yields {q}; delta ≥ |q| yields the empty graph (which embeds everywhere).
+// At most maxSize graphs are returned (maxSize <= 0 selects
+// DefaultMaxSize).
+func Relaxed(q *graph.Graph, delta, maxSize int) []*graph.Graph {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSize
+	}
+	ne := q.NumEdges()
+	if delta <= 0 {
+		return []*graph.Graph{q}
+	}
+	if delta >= ne {
+		return []*graph.Graph{graph.NewBuilder(q.Name() + "-empty").Build()}
+	}
+	var out []*graph.Graph
+	seen := make(map[string]bool)
+	drop := make([]graph.EdgeID, 0, delta)
+	var rec func(start graph.EdgeID)
+	rec = func(start graph.EdgeID) {
+		if len(out) >= maxSize {
+			return
+		}
+		if len(drop) == delta {
+			rq := q.DeleteEdges(drop).DropIsolated()
+			code := graph.CanonicalCode(rq)
+			if !seen[code] {
+				seen[code] = true
+				out = append(out, rq)
+			}
+			return
+		}
+		remaining := delta - len(drop)
+		for e := start; int(e) <= ne-remaining; e++ {
+			drop = append(drop, e)
+			rec(e + 1)
+			drop = drop[:len(drop)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// UpTo returns the union of Relaxed(q, d) for d = 0..delta. The paper only
+// needs the exact-δ level (Lemma 1), but UpTo is used by the structural
+// verifier and tests.
+func UpTo(q *graph.Graph, delta, maxSize int) []*graph.Graph {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSize
+	}
+	var out []*graph.Graph
+	for d := 0; d <= delta && len(out) < maxSize; d++ {
+		out = append(out, Relaxed(q, d, maxSize-len(out))...)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package relax
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probgraph/internal/graph"
+)
+
+// paperQuery builds the Figure 1 query used by Examples 3 and 4: after one
+// deletion the paper obtains three distinct relaxed graphs rq1..rq3.
+func paperQuery() *graph.Graph {
+	b := graph.NewBuilder("q")
+	a1 := b.AddVertex("a")
+	a2 := b.AddVertex("a")
+	b1 := b.AddVertex("b")
+	b2 := b.AddVertex("b")
+	c := b.AddVertex("c")
+	b.MustAddEdge(a1, a2, "")
+	b.MustAddEdge(a1, b1, "")
+	b.MustAddEdge(a2, b2, "")
+	b.MustAddEdge(b1, b2, "")
+	b.MustAddEdge(b2, c, "")
+	return b.Build()
+}
+
+func TestRelaxedDeltaZero(t *testing.T) {
+	q := paperQuery()
+	u := Relaxed(q, 0, 0)
+	if len(u) != 1 || u[0] != q {
+		t.Fatalf("delta=0 must return {q}, got %d graphs", len(u))
+	}
+}
+
+func TestRelaxedCountsAndSizes(t *testing.T) {
+	q := paperQuery()
+	u := Relaxed(q, 1, 0)
+	// 5 single-edge deletions, deduplicated canonically.
+	if len(u) == 0 || len(u) > 5 {
+		t.Fatalf("|U| = %d, want within (0,5]", len(u))
+	}
+	for _, rq := range u {
+		if rq.NumEdges() != q.NumEdges()-1 {
+			t.Fatalf("relaxed graph has %d edges, want %d", rq.NumEdges(), q.NumEdges()-1)
+		}
+	}
+}
+
+func TestRelaxedDedup(t *testing.T) {
+	// Triangle with identical labels: all three single-edge deletions are
+	// isomorphic, so U must contain exactly one graph.
+	b := graph.NewBuilder("tri")
+	v0 := b.AddVertex("a")
+	v1 := b.AddVertex("a")
+	v2 := b.AddVertex("a")
+	b.MustAddEdge(v0, v1, "")
+	b.MustAddEdge(v1, v2, "")
+	b.MustAddEdge(v0, v2, "")
+	tri := b.Build()
+	u := Relaxed(tri, 1, 0)
+	if len(u) != 1 {
+		t.Fatalf("|U| = %d, want 1 (all deletions isomorphic)", len(u))
+	}
+	if u[0].NumEdges() != 2 || u[0].NumVertices() != 3 {
+		t.Fatalf("relaxed triangle wrong shape: %v", u[0])
+	}
+}
+
+func TestRelaxedDeltaAtLeastEdges(t *testing.T) {
+	q := paperQuery()
+	for _, d := range []int{q.NumEdges(), q.NumEdges() + 3} {
+		u := Relaxed(q, d, 0)
+		if len(u) != 1 || u[0].NumEdges() != 0 {
+			t.Fatalf("delta=%d: want single empty graph, got %d graphs", d, len(u))
+		}
+	}
+}
+
+func TestRelaxedDropsIsolated(t *testing.T) {
+	// Path of 2 edges: deleting one leaves an isolated endpoint that must
+	// be dropped.
+	b := graph.NewBuilder("p")
+	v0 := b.AddVertex("a")
+	v1 := b.AddVertex("b")
+	v2 := b.AddVertex("c")
+	b.MustAddEdge(v0, v1, "")
+	b.MustAddEdge(v1, v2, "")
+	p := b.Build()
+	for _, rq := range Relaxed(p, 1, 0) {
+		if rq.NumVertices() != 2 {
+			t.Fatalf("isolated vertex not dropped: %v", rq)
+		}
+	}
+}
+
+func TestRelaxedMaxSize(t *testing.T) {
+	// K5-ish label-distinct graph where deletions are all non-isomorphic.
+	b := graph.NewBuilder("k")
+	var vs []graph.VertexID
+	for i := 0; i < 5; i++ {
+		vs = append(vs, b.AddVertex(graph.Label(string(rune('a'+i)))))
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.MustAddEdge(vs[i], vs[j], "")
+		}
+	}
+	g := b.Build()
+	u := Relaxed(g, 2, 7)
+	if len(u) != 7 {
+		t.Fatalf("maxSize ignored: |U| = %d, want 7", len(u))
+	}
+}
+
+func TestUpToLevels(t *testing.T) {
+	q := paperQuery()
+	u := UpTo(q, 1, 0)
+	// Level 0 (q itself) plus level 1.
+	if len(u) < 2 {
+		t.Fatalf("UpTo(1) too small: %d", len(u))
+	}
+	if u[0].NumEdges() != q.NumEdges() {
+		t.Fatal("UpTo must start with the unrelaxed query")
+	}
+}
+
+func TestRelaxedEdgeCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder("r")
+		nv := 3 + rng.Intn(4)
+		for i := 0; i < nv; i++ {
+			b.AddVertex(graph.Label([]string{"a", "b"}[rng.Intn(2)]))
+		}
+		for tries, added := 0, 0; added < nv+2 && tries < 50; tries++ {
+			u := graph.VertexID(rng.Intn(nv))
+			v := graph.VertexID(rng.Intn(nv))
+			if u == v {
+				continue
+			}
+			if _, err := b.AddEdge(u, v, ""); err == nil {
+				added++
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() == 0 {
+			return true
+		}
+		d := 1 + rng.Intn(2)
+		if d > g.NumEdges() {
+			d = g.NumEdges()
+		}
+		seen := map[string]bool{}
+		for _, rq := range Relaxed(g, d, 0) {
+			if rq.NumEdges() != g.NumEdges()-d {
+				return false
+			}
+			code := graph.CanonicalCode(rq)
+			if seen[code] {
+				return false // dedup violated
+			}
+			seen[code] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package simsearch implements the structural pruning phase over the
+// certain graphs Dc (paper §1.2 "Structural Pruning", Theorem 1): if q is
+// not subgraph-similar to gc, then Pr(q ⊆sim g) = 0 and g is discarded
+// before any probabilistic work.
+//
+// The filter reimplements the principle of Grafil (Yan/Yu/Han, SIGMOD'05 —
+// the paper's reference [38]): deleting δ edges from q destroys a bounded
+// number of feature embeddings, so a graph missing more feature occurrences
+// than that budget cannot approximately contain q:
+//
+//	Σ_f max(0, c_q(f) − c_g(f))  ≤  T(δ) = Σ of the δ largest w(e),
+//
+// where c_x(f) counts embeddings of f in x (capped symmetrically, which
+// preserves soundness) and w(e) is the number of feature embeddings of q
+// through edge e. Graphs surviving the count filter are confirmed with the
+// exact subgraph-distance test to produce SCq.
+package simsearch
+
+import (
+	"sort"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/iso"
+	"probgraph/internal/mcs"
+)
+
+// CountCap bounds per-feature embedding counts; both sides of the filter
+// inequality are capped identically, which keeps the filter sound.
+const CountCap = 64
+
+// Index holds per-graph feature occurrence counts.
+type Index struct {
+	Features []*graph.Graph
+	counts   [][]int // [graph][feature]
+	dbc      []*graph.Graph
+}
+
+// DefaultFeatures extracts the structural counting features from the
+// database: the distinct labeled edges and distinct labeled wedges (paths
+// of two edges), capped at maxFeatures (0 = 128).
+func DefaultFeatures(dbc []*graph.Graph, maxFeatures int) []*graph.Graph {
+	if maxFeatures <= 0 {
+		maxFeatures = 128
+	}
+	seen := make(map[string]bool)
+	var out []*graph.Graph
+	add := func(g *graph.Graph) {
+		if len(out) >= maxFeatures {
+			return
+		}
+		code := graph.CanonicalCode(g)
+		if !seen[code] {
+			seen[code] = true
+			out = append(out, g)
+		}
+	}
+	for _, g := range dbc {
+		if len(out) >= maxFeatures {
+			break
+		}
+		for _, e := range g.Edges() {
+			b := graph.NewBuilder("se")
+			u := b.AddVertex(g.VertexLabel(e.U))
+			v := b.AddVertex(g.VertexLabel(e.V))
+			b.MustAddEdge(u, v, e.Label)
+			add(b.Build())
+		}
+		// Wedges centered at each vertex.
+		for v := 0; v < g.NumVertices(); v++ {
+			nb := g.Neighbors(graph.VertexID(v))
+			for i := 0; i < len(nb) && len(out) < maxFeatures; i++ {
+				for j := i + 1; j < len(nb); j++ {
+					b := graph.NewBuilder("sw")
+					c := b.AddVertex(g.VertexLabel(graph.VertexID(v)))
+					x := b.AddVertex(g.VertexLabel(nb[i].To))
+					y := b.AddVertex(g.VertexLabel(nb[j].To))
+					b.MustAddEdge(c, x, g.EdgeLabel(nb[i].Edge))
+					b.MustAddEdge(c, y, g.EdgeLabel(nb[j].Edge))
+					add(b.Build())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BuildIndex counts feature embeddings in every certain graph.
+func BuildIndex(dbc []*graph.Graph, features []*graph.Graph) *Index {
+	ix := &Index{Features: features, dbc: dbc, counts: make([][]int, len(dbc))}
+	for gi, g := range dbc {
+		row := make([]int, len(features))
+		for fi, f := range features {
+			row[fi] = iso.Count(f, g, nil, CountCap)
+		}
+		ix.counts[gi] = row
+	}
+	return ix
+}
+
+// AddGraph appends one graph's feature counts to the index. The counting
+// feature set is not regrown; new label combinations absent from the
+// original database simply contribute zero counts (the filter stays sound:
+// a zero count can only make the graph look like a weaker container, never
+// a stronger one... a zero count for a feature the query lacks changes
+// nothing, and for a feature the query has it only adds misses for this
+// graph — which is exact, since the count is exact).
+func (ix *Index) AddGraph(g *graph.Graph) {
+	row := make([]int, len(ix.Features))
+	for fi, f := range ix.Features {
+		row[fi] = iso.Count(f, g, nil, CountCap)
+	}
+	ix.counts = append(ix.counts, row)
+	ix.dbc = append(ix.dbc, g)
+}
+
+// Candidates returns the indices of graphs passing the feature-miss filter
+// for query q at distance threshold delta.
+func (ix *Index) Candidates(q *graph.Graph, delta int) []int {
+	cq := make([]int, len(ix.Features))
+	// Per-edge destruction weights w(e).
+	w := make([]int, q.NumEdges())
+	for fi, f := range ix.Features {
+		n := 0
+		iso.ForEach(f, q, nil, func(em *iso.Embedding) bool {
+			n++
+			for _, e := range em.Edges.Slice() {
+				w[e]++
+			}
+			return n < CountCap
+		})
+		cq[fi] = n
+	}
+	// Budget T(δ): the δ largest w(e).
+	sorted := append([]int(nil), w...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	budget := 0
+	for i := 0; i < delta && i < len(sorted); i++ {
+		budget += sorted[i]
+	}
+	var out []int
+	for gi := range ix.dbc {
+		misses := 0
+		for fi := range ix.Features {
+			if d := cq[fi] - ix.counts[gi][fi]; d > 0 {
+				misses += d
+			}
+		}
+		if misses <= budget {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+// Confirm verifies q ⊆sim gc exactly (subgraph distance ≤ delta).
+func (ix *Index) Confirm(q *graph.Graph, gi, delta int) bool {
+	return mcs.Similar(q, ix.dbc[gi], nil, delta)
+}
+
+// SCq runs filter + exact confirmation: the paper's structural candidate
+// set {g : q ⊆sim gc}. It also reports the filter's candidate count (the
+// "Structure" bar of Figures 10–12).
+func (ix *Index) SCq(q *graph.Graph, delta int) (confirmed []int, filterCandidates int) {
+	cand := ix.Candidates(q, delta)
+	for _, gi := range cand {
+		if ix.Confirm(q, gi, delta) {
+			confirmed = append(confirmed, gi)
+		}
+	}
+	return confirmed, len(cand)
+}

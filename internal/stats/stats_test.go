@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "x", "long-header", "y")
+	tb.AddRow(1, 2.34567, "hello")
+	tb.AddRow(10, 0.5, "w")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "long-header") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "2.346") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("v")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if strings.Contains(buf.String(), "==") {
+		t.Fatal("unexpected title banner")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	cases := []struct {
+		returned, truth []int
+		p, r            float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1, 1},
+		{[]int{1, 2, 3, 4}, []int{1, 2}, 0.5, 1},
+		{[]int{1}, []int{1, 2, 3, 4}, 1, 0.25},
+		{nil, []int{1}, 1, 0},
+		{[]int{1}, nil, 0, 1},
+		{nil, nil, 1, 1},
+	}
+	for i, c := range cases {
+		p, r := PrecisionRecall(c.returned, c.truth)
+		if p != c.p || r != c.r {
+			t.Errorf("case %d: got (%v,%v), want (%v,%v)", i, p, r, c.p, c.r)
+		}
+	}
+}

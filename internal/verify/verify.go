@@ -1,0 +1,230 @@
+// Package verify computes the subgraph similarity probability (SSP) of a
+// candidate graph in the verification phase (paper §5).
+//
+// By Lemma 1 and Equation 22, Pr(q ⊆sim g) = Pr(Bf1 ∨ … ∨ Bfm), where the
+// Bfi range over the embeddings of all relaxed queries rq ∈ U in the certain
+// graph gc — a DNF whose clauses assert that an embedding's edges all exist.
+//
+// SMP is the paper's Algorithm 5: the Karp–Luby / coverage Monte-Carlo
+// estimator. Clause probabilities Pr(Bfi) come from the exact inference
+// engine (the paper's junction-tree step), worlds conditioned on a clause
+// come from evidence-conditioned engines, and the estimator counts a sample
+// only when the chosen clause is the first satisfied one. The estimate is
+// V·Cnt/N with V = Σ Pr(Bfi); the N = ⌈4·ln(2/ξ)/τ²⌉ samples give relative
+// error τ with confidence 1−ξ on Pr ≥ V/m scales (Mitzenmacher–Upfal).
+//
+// Exact is the paper's Equation 21 inclusion–exclusion baseline with
+// exponential cost in the clause count; it exists to reproduce the "Exact"
+// curves of Figures 9a and 13.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/prob"
+)
+
+// Options tunes the SMP estimator.
+type Options struct {
+	// Xi and Tau set the sample count N = ⌈4·ln(2/ξ)/τ²⌉ (defaults 0.05,
+	// 0.1 → N ≈ 1476); N overrides when positive.
+	Xi, Tau float64
+	N       int
+	// Seed drives sampling.
+	Seed int64
+	// MaxClauses caps the DNF; beyond it the clause list is truncated to
+	// the most probable clauses, which makes the estimate a lower bound.
+	// Default 512.
+	MaxClauses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Xi == 0 {
+		o.Xi = 0.05
+	}
+	if o.Tau == 0 {
+		o.Tau = 0.1
+	}
+	if o.N == 0 {
+		o.N = int(math.Ceil(4 * math.Log(2/o.Xi) / (o.Tau * o.Tau)))
+	}
+	if o.MaxClauses == 0 {
+		o.MaxClauses = 512
+	}
+	return o
+}
+
+// SMP estimates Pr(∨ clauses) where each clause asserts all of its edges
+// exist. Empty input yields 0; a clause with no uncertain edges yields 1.
+func SMP(eng *prob.Engine, clauses []graph.EdgeSet, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	if len(clauses) == 0 {
+		return 0, nil
+	}
+	// Clause probabilities Pr(Bfi) via exact inference.
+	probs := make([]float64, len(clauses))
+	v := 0.0
+	for i, c := range clauses {
+		p, err := eng.ProbAllPresent(c)
+		if err != nil {
+			return 0, err
+		}
+		if p >= 1 {
+			return 1, nil // certain clause: the union is certain
+		}
+		probs[i] = p
+		v += p
+	}
+	if v <= 0 {
+		return 0, nil
+	}
+	if v >= 0 && len(clauses) > opt.MaxClauses {
+		clauses, probs, v = topClauses(clauses, probs, opt.MaxClauses)
+	}
+	// Cumulative distribution for clause selection.
+	cum := make([]float64, len(clauses))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	// Conditioned samplers, built lazily per clause.
+	cond := make([]*prob.Engine, len(clauses))
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cnt := 0
+	world := graph.NewEdgeSet(engNumEdges(eng))
+	scratchLen := 0
+	var scratch []bool
+	for s := 0; s < opt.N; s++ {
+		// Pick clause i with probability probs[i]/v.
+		x := rng.Float64() * v
+		i := lowerBound(cum, x)
+		if cond[i] == nil {
+			ce, err := eng.NewConditioned(prob.AllPresent(clauses[i]))
+			if err != nil {
+				return 0, fmt.Errorf("verify: conditioning on clause %d: %w", i, err)
+			}
+			cond[i] = ce
+		}
+		if n := condScratchLen(cond[i]); n > scratchLen {
+			scratch = make([]bool, n)
+			scratchLen = n
+		}
+		cond[i].SampleWorldInto(rng, world, scratch)
+		// Count when i is the first satisfied clause.
+		first := true
+		for j := 0; j < i; j++ {
+			if world.ContainsAll(clauses[j]) {
+				first = false
+				break
+			}
+		}
+		if first {
+			cnt++
+		}
+	}
+	est := v * float64(cnt) / float64(opt.N)
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// Exact computes Pr(∨ clauses) by inclusion–exclusion (Equation 21),
+// rejecting inputs beyond maxClauses (0 selects 20).
+func Exact(eng *prob.Engine, clauses []graph.EdgeSet, maxClauses int) (float64, error) {
+	if maxClauses == 0 {
+		maxClauses = 20
+	}
+	clauses = dedupClauses(clauses)
+	return prob.ProbDNFExact(eng, clauses, maxClauses)
+}
+
+// DedupClauses removes duplicate and superset clauses: a clause that
+// contains another is absorbed by it in a union of conjunctions.
+func DedupClauses(clauses []graph.EdgeSet) []graph.EdgeSet {
+	return dedupClauses(clauses)
+}
+
+func dedupClauses(clauses []graph.EdgeSet) []graph.EdgeSet {
+	var out []graph.EdgeSet
+	seen := make(map[string]bool)
+	for _, c := range clauses {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	// Absorption: drop clauses that are supersets of another clause.
+	var kept []graph.EdgeSet
+	for i, c := range out {
+		absorbed := false
+		for j, d := range out {
+			if i == j {
+				continue
+			}
+			if c.ContainsAll(d) && !d.ContainsAll(c) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, c)
+		}
+	}
+	// Among equal sets the first survived dedup already.
+	return kept
+}
+
+// topClauses keeps the n most probable clauses (truncation makes SMP a
+// lower-bound estimate; callers see MaxClauses only on adversarial inputs).
+func topClauses(clauses []graph.EdgeSet, probs []float64, n int) ([]graph.EdgeSet, []float64, float64) {
+	idx := make([]int, len(clauses))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort for the top n (n ≪ len in practice).
+	for i := 0; i < n && i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if probs[idx[j]] > probs[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	idx = idx[:n]
+	cs := make([]graph.EdgeSet, n)
+	ps := make([]float64, n)
+	v := 0.0
+	for i, id := range idx {
+		cs[i] = clauses[id]
+		ps[i] = probs[id]
+		v += ps[i]
+	}
+	return cs, ps, v
+}
+
+// lowerBound returns the first index with cum[i] >= x.
+func lowerBound(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// engNumEdges and condScratchLen expose the engine capacities SMP needs for
+// its scratch buffers.
+func engNumEdges(e *prob.Engine) int { return e.NumEdges() }
+
+func condScratchLen(e *prob.Engine) int { return e.NumUncertain() }

@@ -1,0 +1,250 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/prob"
+)
+
+// randomModel builds a small correlated PGraph and engine.
+func randomModel(t testing.TB, rng *rand.Rand, nv, ne int) (*prob.PGraph, *prob.Engine) {
+	b := graph.NewBuilder("m")
+	for i := 0; i < nv; i++ {
+		b.AddVertex("a")
+	}
+	for tries, added := 0, 0; added < ne && tries < 30*ne; tries++ {
+		u := graph.VertexID(rng.Intn(nv))
+		v := graph.VertexID(rng.Intn(nv))
+		if u == v {
+			continue
+		}
+		if _, err := b.AddEdge(u, v, ""); err == nil {
+			added++
+		}
+	}
+	g := b.Build()
+	var jpts []prob.JPT
+	e := 0
+	for e < g.NumEdges() {
+		k := 1 + rng.Intn(2)
+		if e+k > g.NumEdges() {
+			k = g.NumEdges() - e
+		}
+		edges := make([]graph.EdgeID, 0, k)
+		for i := 0; i < k; i++ {
+			edges = append(edges, graph.EdgeID(e+i))
+		}
+		tab := make([]float64, 1<<k)
+		for i := range tab {
+			tab[i] = 0.1 + rng.Float64()
+		}
+		jpts = append(jpts, prob.JPT{Edges: edges, P: tab})
+		e += k
+	}
+	pg := prob.MustNew(g, jpts)
+	eng, err := prob.NewEngine(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg, eng
+}
+
+func randomClauses(rng *rand.Rand, numEdges, n int) []graph.EdgeSet {
+	out := make([]graph.EdgeSet, n)
+	for i := range out {
+		out[i] = graph.NewEdgeSet(numEdges)
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			out[i].Add(graph.EdgeID(rng.Intn(numEdges)))
+		}
+	}
+	return out
+}
+
+// enumerationDNF computes Pr(∨ clauses) by world enumeration.
+func enumerationDNF(t testing.TB, eng *prob.Engine, clauses []graph.EdgeSet) float64 {
+	total := 0.0
+	if err := prob.EnumerateWorlds(eng, func(w graph.EdgeSet, p float64) bool {
+		for _, c := range clauses {
+			if w.ContainsAll(c) {
+				total += p
+				break
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestExactMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pg, eng := randomModel(t, rng, 5, 6)
+		clauses := randomClauses(rng, pg.G.NumEdges(), 1+rng.Intn(4))
+		got, err := Exact(eng, clauses, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := enumerationDNF(t, eng, clauses)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSMPConvergesToExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pg, eng := randomModel(t, rng, 6, 7)
+		clauses := DedupClauses(randomClauses(rng, pg.G.NumEdges(), 3))
+		want := enumerationDNF(t, eng, clauses)
+		got, err := SMP(eng, clauses, Options{N: 30000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("seed %d: SMP %v vs exact %v", seed, got, want)
+		}
+	}
+}
+
+func TestSMPEmptyAndEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pg, eng := randomModel(t, rng, 4, 3)
+	// No clauses.
+	p, err := SMP(eng, nil, Options{N: 100})
+	if err != nil || p != 0 {
+		t.Fatalf("empty clause set: p=%v err=%v", p, err)
+	}
+	// A clause over certain edges (none here — all edges are covered by
+	// JPTs, so use an empty clause instead): an empty edge set is trivially
+	// satisfied, so Pr = 1.
+	empty := graph.NewEdgeSet(pg.G.NumEdges())
+	p, err = SMP(eng, []graph.EdgeSet{empty}, Options{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("empty clause (always true) should give 1, got %v", p)
+	}
+}
+
+func TestSMPCertainClause(t *testing.T) {
+	// Graph with one certain edge: clause over it has probability 1.
+	b := graph.NewBuilder("c")
+	u := b.AddVertex("a")
+	v := b.AddVertex("a")
+	w := b.AddVertex("a")
+	b.MustAddEdge(u, v, "") // edge 0: certain
+	b.MustAddEdge(v, w, "") // edge 1: uncertain
+	g := b.Build()
+	pg := prob.MustNew(g, []prob.JPT{prob.NewIndependentJPT(1, 0.5)})
+	eng, err := prob.NewEngine(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewEdgeSet(2)
+	c.Add(0)
+	p, err := SMP(eng, []graph.EdgeSet{c}, Options{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("certain clause should short-circuit to 1, got %v", p)
+	}
+}
+
+func TestDedupClausesAbsorption(t *testing.T) {
+	mk := func(ids ...graph.EdgeID) graph.EdgeSet {
+		s := graph.NewEdgeSet(8)
+		for _, id := range ids {
+			s.Add(id)
+		}
+		return s
+	}
+	in := []graph.EdgeSet{mk(0, 1), mk(0, 1, 2), mk(0, 1), mk(3)}
+	out := DedupClauses(in)
+	// {0,1,2} is absorbed by {0,1}; duplicates collapse.
+	if len(out) != 2 {
+		t.Fatalf("got %d clauses, want 2: %v", len(out), out)
+	}
+	keys := map[string]bool{mk(0, 1).Key(): false, mk(3).Key(): false}
+	for _, c := range out {
+		if _, ok := keys[c.Key()]; !ok {
+			t.Fatalf("unexpected clause %v", c.Slice())
+		}
+		keys[c.Key()] = true
+	}
+	for k, seen := range keys {
+		if !seen {
+			t.Fatalf("missing clause %q", k)
+		}
+	}
+}
+
+func TestDedupPreservesUnionSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pg, eng := randomModel(t, rng, 5, 5)
+		clauses := randomClauses(rng, pg.G.NumEdges(), 4)
+		before := enumerationDNF(t, eng, clauses)
+		after := enumerationDNF(t, eng, DedupClauses(clauses))
+		return math.Abs(before-after) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRejectsTooManyClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pg, eng := randomModel(t, rng, 6, 6)
+	clauses := make([]graph.EdgeSet, 25)
+	for i := range clauses {
+		clauses[i] = graph.NewEdgeSet(pg.G.NumEdges())
+		clauses[i].Add(graph.EdgeID(i % pg.G.NumEdges()))
+		clauses[i].Add(graph.EdgeID((i + 1 + i/6) % pg.G.NumEdges()))
+	}
+	clauses = append(clauses, randomClauses(rng, pg.G.NumEdges(), 10)...)
+	unique := DedupClauses(clauses)
+	if len(unique) <= 20 {
+		t.Skip("not enough distinct clauses to trigger the cap")
+	}
+	if _, err := Exact(eng, unique, 20); err == nil {
+		t.Fatal("expected clause-cap error")
+	}
+}
+
+func TestTopClauses(t *testing.T) {
+	mk := func(id graph.EdgeID) graph.EdgeSet {
+		s := graph.NewEdgeSet(8)
+		s.Add(id)
+		return s
+	}
+	clauses := []graph.EdgeSet{mk(0), mk(1), mk(2), mk(3)}
+	probs := []float64{0.1, 0.9, 0.5, 0.7}
+	cs, ps, v := topClauses(clauses, probs, 2)
+	if len(cs) != 2 || ps[0] != 0.9 || ps[1] != 0.7 {
+		t.Fatalf("topClauses picked %v", ps)
+	}
+	if math.Abs(v-1.6) > 1e-12 {
+		t.Fatalf("v = %v, want 1.6", v)
+	}
+}
+
+func TestLowerBoundSearch(t *testing.T) {
+	cum := []float64{0.1, 0.4, 0.9, 1.0}
+	cases := map[float64]int{0.05: 0, 0.1: 0, 0.2: 1, 0.4: 1, 0.95: 3, 1.0: 3}
+	for x, want := range cases {
+		if got := lowerBound(cum, x); got != want {
+			t.Fatalf("lowerBound(%v) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package probgraph is a library for threshold-based subgraph similarity
+// search over large probabilistic graph databases with correlated edge
+// existence, reproducing Yuan, Wang, Chen and Wang, "Efficient Subgraph
+// Similarity Search on Large Probabilistic Graph Databases", PVLDB 5(9),
+// VLDB 2012.
+//
+// A probabilistic graph is a labeled undirected graph whose edges exist
+// with probabilities given jointly — joint probability tables (JPTs) over
+// local "neighbor edge" sets capture correlations such as co-occurring
+// protein interactions or congestion spreading between adjacent road
+// segments. A T-PS query asks: given a query graph q, an edge-distance
+// tolerance δ and a probability threshold ε, which database graphs g have
+//
+//	Pr( dis(q, world of g) ≤ δ )  ≥  ε ?
+//
+// Computing that probability is #P-complete, so the engine answers with the
+// paper's filter-and-verify pipeline: structural pruning on the certain
+// graphs, probabilistic pruning through the PMI index (feature-wise lower
+// and upper bounds on subgraph isomorphism probability, combined per query
+// by greedy set cover and a relaxed quadratic program), and a Karp–Luby
+// Monte-Carlo verifier backed by an exact junction-tree inference engine.
+//
+// # Quick start
+//
+//	b := probgraph.NewGraphBuilder("g1")
+//	u := b.AddVertex("A")
+//	v := b.AddVertex("B")
+//	e, _ := b.AddEdge(u, v, "")
+//	pg, _ := probgraph.NewIndependentPGraph(b.Build(),
+//	    map[probgraph.EdgeID]float64{e: 0.8})
+//
+//	db, _ := probgraph.NewDatabase([]*probgraph.PGraph{pg},
+//	    probgraph.DefaultBuildOptions())
+//	res, _ := db.Query(query, probgraph.QueryOptions{Epsilon: 0.5, Delta: 1})
+//
+// See the examples directory for complete programs: examples/quickstart
+// walks the paper's own Figure 1 instance, examples/ppi searches a
+// synthetic protein-interaction workload and compares the correlated model
+// against the independent-edge baseline, and examples/roadnet mines
+// reliable route patterns in a congestion-correlated road grid.
+package probgraph
+
+import (
+	"io"
+	"math/rand"
+
+	"probgraph/internal/core"
+	"probgraph/internal/dataset"
+	"probgraph/internal/feature"
+	"probgraph/internal/graph"
+	"probgraph/internal/pmi"
+	"probgraph/internal/prob"
+	"probgraph/internal/verify"
+)
+
+// Core graph model.
+type (
+	// Graph is an immutable labeled undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder assembles a Graph.
+	GraphBuilder = graph.Builder
+	// Label is a vertex or edge label.
+	Label = graph.Label
+	// VertexID addresses a vertex within one graph.
+	VertexID = graph.VertexID
+	// EdgeID addresses an edge within one graph.
+	EdgeID = graph.EdgeID
+	// EdgeSet is a bitset over a graph's edges (possible worlds,
+	// embeddings).
+	EdgeSet = graph.EdgeSet
+)
+
+// Probabilistic model.
+type (
+	// PGraph is a probabilistic graph: certain structure plus JPT factors.
+	PGraph = prob.PGraph
+	// JPT is a joint probability table over a neighbor-edge set.
+	JPT = prob.JPT
+	// InferenceEngine performs exact probability queries and world
+	// sampling over one PGraph.
+	InferenceEngine = prob.Engine
+)
+
+// Database and queries.
+type (
+	// Database is an indexed probabilistic graph database.
+	Database = core.Database
+	// BuildOptions configures indexing (feature mining α/β/γ/maxL, PMI
+	// construction, OPT-SIPBound vs SIPBound).
+	BuildOptions = core.BuildOptions
+	// QueryOptions configures one T-PS query (ε, δ, OPT-SSPBound vs
+	// SSPBound, verifier choice).
+	QueryOptions = core.QueryOptions
+	// Result is a query outcome with per-phase statistics.
+	Result = core.Result
+	// QueryStats instruments the pipeline phases.
+	QueryStats = core.Stats
+	// VerifierKind selects SMP, Exact, or no verification.
+	VerifierKind = core.VerifierKind
+	// VerifyOptions tunes the SMP estimator.
+	VerifyOptions = verify.Options
+	// FeatureOptions are the miner knobs (paper Algorithm 4).
+	FeatureOptions = feature.Options
+	// PMIOptions are the index construction knobs (paper §4.1).
+	PMIOptions = pmi.Options
+)
+
+// Verifier kinds.
+const (
+	// VerifierSMP is the paper's Algorithm 5 Monte-Carlo sampler.
+	VerifierSMP = core.VerifierSMP
+	// VerifierExact is the Equation 21 inclusion–exclusion baseline.
+	VerifierExact = core.VerifierExact
+	// VerifierNone stops after pruning.
+	VerifierNone = core.VerifierNone
+)
+
+// NewGraphBuilder returns a builder for a graph with the given name.
+func NewGraphBuilder(name string) *GraphBuilder { return graph.NewBuilder(name) }
+
+// NewPGraph validates and assembles a probabilistic graph from a certain
+// graph and JPT factors. Edges not covered by any JPT are certain.
+func NewPGraph(g *Graph, jpts []JPT) (*PGraph, error) { return prob.New(g, jpts) }
+
+// NewIndependentPGraph builds a probabilistic graph whose listed edges
+// exist independently with the given probabilities (the paper's IND
+// baseline model).
+func NewIndependentPGraph(g *Graph, edgeProb map[EdgeID]float64) (*PGraph, error) {
+	return prob.NewIndependent(g, edgeProb)
+}
+
+// NewInferenceEngine builds an exact inference engine over pg: partition
+// function, conjunction probabilities, marginals, and exact world sampling.
+func NewInferenceEngine(pg *PGraph) (*InferenceEngine, error) { return prob.NewEngine(pg) }
+
+// NewDatabase indexes probabilistic graphs for T-PS queries: it builds
+// per-graph inference engines, mines PMI features, constructs the PMI, and
+// prepares the structural filter.
+func NewDatabase(graphs []*PGraph, opt BuildOptions) (*Database, error) {
+	return core.NewDatabase(graphs, opt)
+}
+
+// DefaultBuildOptions returns the paper's default configuration
+// (OPT-SIPBound index, α=β=γ=0.15 mining thresholds).
+func DefaultBuildOptions() BuildOptions { return core.DefaultBuildOptions() }
+
+// Database.AddGraph (on the aliased core type) inserts one graph
+// incrementally — engine, structural counts, and PMI column — without
+// re-mining the feature vocabulary.
+
+// TopKItem is one ranked answer of Database.QueryTopK: the k graphs with
+// the highest subgraph similarity probability, verified in decreasing
+// upper-bound order with bound-based early termination.
+type TopKItem = core.TopKItem
+
+// PMIIndex is the probabilistic matrix index; Database.PMI exposes it and
+// SavePMI/LoadPMI persist it independently of the data.
+type PMIIndex = pmi.Index
+
+// LoadPMI reads an index written by (*PMIIndex).Save. Pair it only with
+// the database it was built from.
+func LoadPMI(r io.Reader) (*PMIIndex, error) { return pmi.Load(r) }
+
+// Dataset helpers.
+type (
+	// DatasetOptions shapes the synthetic PPI-like generator.
+	DatasetOptions = dataset.PPIOptions
+	// Dataset is a generated database with organism ground truth.
+	Dataset = dataset.DB
+)
+
+// GeneratePPI synthesizes a PPI-like probabilistic graph database with
+// organism families (see DESIGN.md for the substitution rationale).
+func GeneratePPI(opt DatasetOptions) (*Dataset, error) { return dataset.GeneratePPI(opt) }
+
+// IndependentCounterpart rebuilds a dataset with the same certain graphs
+// whose edges exist independently with the correlated model's marginal
+// probabilities — the clean IND baseline of the paper's Figure 14.
+func IndependentCounterpart(db *Dataset) (*Dataset, error) {
+	return dataset.IndependentCounterpart(db)
+}
+
+// GenerateRoadGrid builds a congestion-correlated road-grid probabilistic
+// graph (the paper's road-network motivation).
+func GenerateRoadGrid(n, m int, meanProb, boost float64, rng *rand.Rand) (*PGraph, error) {
+	return dataset.GenerateRoadGrid(n, m, meanProb, boost, rng)
+}
+
+// ExtractQuery carves a connected query subgraph with the given edge count
+// out of a certain graph.
+func ExtractQuery(g *Graph, edges int, rng *rand.Rand) *Graph {
+	return dataset.ExtractQuery(g, edges, rng)
+}
+
+// PaperFigure1 reconstructs the paper's running example: probabilistic
+// graphs 001 and 002 and the query q.
+func PaperFigure1() (g001, g002 *PGraph, q *Graph, err error) { return dataset.PaperFigure1() }
+
+// SaveDataset writes a dataset in the text format understood by the cmd/
+// tools; LoadDataset reads it back.
+func SaveDataset(w io.Writer, db *Dataset) error { return dataset.Save(w, db) }
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Load(r) }

@@ -1,0 +1,133 @@
+package probgraph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"probgraph"
+)
+
+// TestPublicAPIEndToEnd drives the whole system exclusively through the
+// public package the examples use.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+		NumGraphs: 12, MinVertices: 6, MaxVertices: 8,
+		Organisms: 3, Correlated: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := probgraph.DefaultBuildOptions()
+	opt.Feature.Beta = 0.2
+	opt.Feature.MaxL = 3
+	db, err := probgraph.NewDatabase(raw.Graphs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	q := probgraph.ExtractQuery(raw.Graphs[0].G, 4, rng)
+	res, err := db.Query(q, probgraph.QueryOptions{
+		Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TimeTotal <= 0 {
+		t.Fatal("missing stats")
+	}
+	// Every answer index must be valid.
+	for _, gi := range res.Answers {
+		if gi < 0 || gi >= db.Len() {
+			t.Fatalf("answer index %d out of range", gi)
+		}
+	}
+}
+
+func TestPublicAPIPaperFixture(t *testing.T) {
+	g001, g002, q, err := probgraph.PaperFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g001.G.NumEdges() != 3 || g002.G.NumEdges() != 5 || q.NumEdges() != 5 {
+		t.Fatal("fixture shapes wrong")
+	}
+	eng, err := probgraph.NewInferenceEngine(g002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumEdges() != 5 {
+		t.Fatal("engine edge count wrong")
+	}
+}
+
+func TestPublicAPIDatasetRoundTrip(t *testing.T) {
+	raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+		NumGraphs: 4, MinVertices: 5, MaxVertices: 6, Correlated: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := probgraph.SaveDataset(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := probgraph.LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Graphs) != len(raw.Graphs) {
+		t.Fatal("round trip lost graphs")
+	}
+}
+
+func TestPublicAPIIndependentCounterpart(t *testing.T) {
+	raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+		NumGraphs: 3, MinVertices: 5, MaxVertices: 6, Correlated: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := probgraph.IndependentCounterpart(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw.Graphs {
+		if raw.Graphs[i].G.NumEdges() != ind.Graphs[i].G.NumEdges() {
+			t.Fatal("counterpart changed graph structure")
+		}
+		// Marginals must match between models.
+		ce, err := probgraph.NewInferenceEngine(raw.Graphs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ie, err := probgraph.NewInferenceEngine(ind.Graphs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range raw.Graphs[i].UncertainEdges() {
+			a, err := ce.MarginalPresent(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ie.MarginalPresent(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := a - b; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("graph %d edge %d: marginal %v vs %v", i, e, a, b)
+			}
+		}
+	}
+}
+
+func TestPublicAPIRoadGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pg, err := probgraph.GenerateRoadGrid(3, 3, 0.6, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.G.NumVertices() != 9 || pg.G.NumEdges() != 12 {
+		t.Fatalf("grid shape %d/%d", pg.G.NumVertices(), pg.G.NumEdges())
+	}
+}
