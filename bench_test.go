@@ -10,6 +10,7 @@
 package probgraph_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -175,6 +176,91 @@ func BenchmarkQueryPruneOnly(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel engine benchmarks ---------------------------------------
+
+// parallelEnv builds a database sized so that verification dominates query
+// time — the regime the concurrent engine targets — plus a small query
+// workload. Shared by the workers sweeps below.
+var (
+	parOnce sync.Once
+	parDB   *probgraph.Database
+	parQS   []*probgraph.Graph
+	parErr  error
+)
+
+func parallelEnv(b *testing.B) (*probgraph.Database, []*probgraph.Graph) {
+	b.Helper()
+	parOnce.Do(func() {
+		raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+			NumGraphs: 32, MinVertices: 10, MaxVertices: 13,
+			Organisms: 4, Correlated: true, Seed: 11,
+		})
+		if err != nil {
+			parErr = err
+			return
+		}
+		opt := probgraph.DefaultBuildOptions()
+		opt.Feature.MaxL = 4
+		opt.Feature.Beta = 0.2
+		parDB, parErr = probgraph.NewDatabase(raw.Graphs, opt)
+		if parErr != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 4; i++ {
+			parQS = append(parQS, probgraph.ExtractQuery(raw.Graphs[i].G, 5, rng))
+		}
+	})
+	if parErr != nil {
+		b.Fatal(parErr)
+	}
+	return parDB, parQS
+}
+
+func parallelQO(seed int64, workers int) probgraph.QueryOptions {
+	return probgraph.QueryOptions{
+		Epsilon: 0.3, Delta: 1, OptBounds: true,
+		Verify:      probgraph.VerifyOptions{N: 3000},
+		Seed:        seed,
+		Concurrency: workers,
+	}
+}
+
+// BenchmarkQueryWorkers sweeps QueryOptions.Concurrency over the same
+// workload: compare workers=1 (the serial baseline) against the pooled
+// runs for the engine's wall-clock speedup. Answers are identical at every
+// setting; only scheduling differs.
+func BenchmarkQueryWorkers(b *testing.B) {
+	db, qs := parallelEnv(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for qi, q := range qs {
+					if _, err := db.Query(q, parallelQO(int64(qi), workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryBatchWorkers runs the whole workload through one
+// QueryBatch call per iteration, sweeping the pool that is spread across
+// the batch's queries.
+func BenchmarkQueryBatchWorkers(b *testing.B) {
+	db, qs := parallelEnv(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryBatch(qs, parallelQO(int64(i), workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

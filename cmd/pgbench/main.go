@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14] [-seed N]
+//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling]
+//	        [-workers N] [-seed N]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
 // shape of each series (see EXPERIMENTS.md).
+//
+// -workers N runs every query's candidate pipeline on a pool of N
+// goroutines (results are unchanged; only timings move). -fig scaling
+// prints a dedicated parallel-speedup table sweeping the worker count;
+// it is not part of the paper's evaluation, so -fig all (the default)
+// covers the paper figures only and scaling must be requested explicitly.
 package main
 
 import (
@@ -24,13 +31,14 @@ import (
 
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
-	fig := flag.String("fig", "all", "figure to run: all, 9a, 9b, 10, 11, 12, 13, 14")
+	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling (extra, never implied by all)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
 	flag.Parse()
 
 	start := time.Now()
-	fmt.Printf("pgbench: scale=%s fig=%s seed=%d\n", *scale, *fig, *seed)
-	env, err := experiments.NewEnv(experiments.Config{Scale: *scale, Seed: *seed})
+	fmt.Printf("pgbench: scale=%s fig=%s seed=%d workers=%d\n", *scale, *fig, *seed, *workers)
+	env, err := experiments.NewEnv(experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,6 +94,9 @@ func main() {
 	}
 	if want("14") {
 		render(env.Fig14())
+	}
+	if strings.EqualFold(*fig, "scaling") {
+		render(env.Scaling(nil))
 	}
 	fmt.Printf("pgbench done in %v\n", time.Since(start))
 }

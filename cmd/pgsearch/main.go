@@ -6,11 +6,17 @@
 //
 //	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
 //	         [-qfrom 0] [-queries 5] [-verifier smp|exact|none]
-//	         [-plain] [-seed 1] [-v]
+//	         [-plain] [-workers 1] [-batch] [-seed 1] [-v]
 //
 // Queries are extracted from the certain graph of the graph at index
 // -qfrom (rotating across -queries runs), matching the paper's workload
 // construction.
+//
+// -workers N evaluates candidate graphs on a pool of N goroutines (N < 0
+// selects GOMAXPROCS). -batch additionally runs all queries through one
+// QueryBatch call, spreading the same pool across the queries. Both knobs
+// change scheduling only: for a fixed -seed, every combination of
+// -workers and -batch reports identical answers.
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 	queries := flag.Int("queries", 5, "number of queries to run")
 	verifier := flag.String("verifier", "smp", "verifier: smp, exact, none")
 	plain := flag.Bool("plain", false, "use plain SSPBound instead of OPT-SSPBound")
+	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
+	batch := flag.Bool("batch", false, "run all queries through one QueryBatch call")
 	saveIndex := flag.String("saveindex", "", "write the built PMI index to this file")
 	loadIndex := flag.String("loadindex", "", "load a previously saved PMI index instead of rebuilding")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -104,20 +112,46 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	table := stats.NewTable("query results",
-		"query", "answers", "struct", "pruned", "accepted", "verified", "time")
-	for i := 0; i < *queries; i++ {
+	qs := make([]*probgraph.Graph, *queries)
+	for i := range qs {
 		src := raw.Graphs[(*qfrom+i)%len(raw.Graphs)].G
-		q := probgraph.ExtractQuery(src, *qsize, rng)
-		res, err := db.Query(q, probgraph.QueryOptions{
+		qs[i] = probgraph.ExtractQuery(src, *qsize, rng)
+	}
+
+	qStart := time.Now()
+	results := make([]*probgraph.Result, len(qs))
+	if *batch {
+		rs, err := db.QueryBatch(qs, probgraph.QueryOptions{
 			Epsilon: *epsilon, Delta: *delta,
-			OptBounds: !*plain, Verifier: vk, Seed: *seed + int64(i),
+			OptBounds: !*plain, Verifier: vk,
+			Seed: *seed, Concurrency: *workers,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		results = rs
+	} else {
+		for i, q := range qs {
+			// Same per-query seed derivation as QueryBatch, so -batch
+			// changes scheduling only, never answers.
+			res, err := db.Query(q, probgraph.QueryOptions{
+				Epsilon: *epsilon, Delta: *delta,
+				OptBounds: !*plain, Verifier: vk,
+				Seed: probgraph.BatchSeed(*seed, i), Concurrency: *workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = res
+		}
+	}
+	elapsed := time.Since(qStart)
+
+	table := stats.NewTable("query results",
+		"query", "answers", "struct", "pruned", "accepted", "verified", "time")
+	for i, res := range results {
 		table.AddRow(
-			fmt.Sprintf("q%d(%de)", i, q.NumEdges()),
+			fmt.Sprintf("q%d(%de)", i, qs[i].NumEdges()),
 			len(res.Answers),
 			res.Stats.StructConfirmed,
 			res.Stats.PrunedByUpper,
@@ -137,4 +171,6 @@ func main() {
 		}
 	}
 	table.Render(os.Stdout)
+	fmt.Printf("%d queries in %v (workers=%d, batch=%v)\n",
+		len(qs), elapsed.Round(time.Microsecond), *workers, *batch)
 }

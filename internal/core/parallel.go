@@ -1,0 +1,137 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/iso"
+)
+
+// normalizeWorkers resolves the Concurrency knob to an actual worker count
+// for n independent work items: 0 (and 1) mean serial, a negative value
+// selects GOMAXPROCS, and the result never exceeds n.
+func normalizeWorkers(concurrency, n int) int {
+	w := concurrency
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) on a bounded pool of
+// `workers` goroutines (serially when workers <= 1). fn must confine its
+// writes to per-index slots; indices are handed out by an atomic counter,
+// so completion order is unspecified.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Salts separating the independent per-candidate random streams derived
+// from one QueryOptions.Seed.
+const (
+	pruneSalt  = 0x5bf03635
+	verifySalt = 0x27d4eb2f
+)
+
+// candSeed derives the RNG seed for candidate graph gi from the query
+// seed with a SplitMix64-style mix. Every randomized per-candidate step
+// (SSPBound pair choice, QP rounding, SMP sampling) seeds from this and
+// nothing else, so a candidate's draws are a pure function of (Seed, gi) —
+// independent of scheduling order and of which other candidates exist.
+// That is what makes serial and concurrent runs bitwise-identical.
+func candSeed(seed int64, gi int) int64 {
+	z := uint64(seed) + (uint64(gi)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// BatchSeed is the per-query seed QueryBatch derives from its base seed:
+// query i of a batch runs exactly as db.Query would with this seed, which
+// lets callers reproduce any batch member individually.
+func BatchSeed(seed int64, i int) int64 {
+	return seed + int64(i)*1000003
+}
+
+// relEntry records which PMI features relate to one relaxed query by
+// subgraph isomorphism, in each direction.
+type relEntry struct {
+	sup []int // features f with f ⊆iso rq (upper-bound direction)
+	sub []int // features f with rq ⊆iso f (lower-bound direction)
+}
+
+// relCache memoizes feature relations keyed by the relaxed query's
+// canonical code. QueryBatch shares one cache across its queries: relaxed
+// query sets of similar queries overlap heavily, so the subgraph
+// isomorphism tests against the feature vocabulary — the dominant cost of
+// pruner construction — are paid once per distinct relaxed query instead
+// of once per (query, relaxed query) pair.
+type relCache struct {
+	mu sync.Mutex
+	m  map[string]relEntry
+}
+
+func newRelCache() *relCache { return &relCache{m: make(map[string]relEntry)} }
+
+// featureRelations computes (or recalls from cache) the feature sets
+// related to one relaxed query. Safe for concurrent use.
+func (db *Database) featureRelations(rq *graph.Graph, cache *relCache) relEntry {
+	var key string
+	if cache != nil {
+		key = graph.CanonicalCode(rq)
+		cache.mu.Lock()
+		e, ok := cache.m[key]
+		cache.mu.Unlock()
+		if ok {
+			return e
+		}
+	}
+	var e relEntry
+	for j := 0; j < db.PMI.NumFeatures(); j++ {
+		f := db.PMI.Features[j]
+		if iso.Exists(f, rq, nil) {
+			e.sup = append(e.sup, j)
+		}
+		if iso.Exists(rq, f, nil) {
+			e.sub = append(e.sub, j)
+		}
+	}
+	if cache != nil {
+		cache.mu.Lock()
+		cache.m[key] = e
+		cache.mu.Unlock()
+	}
+	return e
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"probgraph/internal/cover"
@@ -52,6 +53,14 @@ type QueryOptions struct {
 	// Seed drives the randomized pieces (QP rounding, SSPBound pair
 	// choice, SMP) deterministically.
 	Seed int64
+	// Concurrency bounds the worker pool evaluating candidate graphs
+	// (bound combination and verification): 0 or 1 run serially, a
+	// negative value selects GOMAXPROCS. The result set, SSP estimates,
+	// and counters are identical for every setting — all per-candidate
+	// randomness is seeded purely from Seed and the candidate's graph
+	// index, never from scheduling order. In QueryBatch the same knob
+	// bounds the pool spread across the batch's queries.
+	Concurrency int
 }
 
 func (o QueryOptions) withDefaults() QueryOptions {
@@ -68,6 +77,11 @@ func (o QueryOptions) withDefaults() QueryOptions {
 }
 
 // Stats instruments a query run with the paper's reported metrics.
+//
+// TimeProb and TimeVerify sum the per-candidate compute spent in each
+// phase. At Concurrency <= 1 that equals the phase's wall-clock time; with
+// a larger pool the candidates overlap, so the sums measure aggregate CPU
+// work and only TimeTotal remains wall-clock.
 type Stats struct {
 	StructFilterCandidates int // Grafil-style filter output ("Structure")
 	StructConfirmed        int // |SCq|
@@ -96,8 +110,24 @@ type Result struct {
 	Stats Stats
 }
 
-// Query runs the full T-PS pipeline for query graph q.
+// Query runs the full T-PS pipeline for query graph q. Candidates are
+// evaluated on a pool of opt.Concurrency workers; see QueryOptions for the
+// determinism guarantee.
 func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
+	return db.query(q, opt, nil)
+}
+
+// candOutcome is the per-candidate result of the fused pruning +
+// verification stage, written by exactly one worker.
+type candOutcome struct {
+	verdict judgement
+	ssp     float64
+	err     error
+	probT   time.Duration
+	verifyT time.Duration
+}
+
+func (db *Database) query(q *graph.Graph, opt QueryOptions, cache *relCache) (*Result, error) {
 	opt = opt.withDefaults()
 	if opt.Epsilon <= 0 || opt.Epsilon > 1 {
 		return nil, fmt.Errorf("core: epsilon %v outside (0,1]", opt.Epsilon)
@@ -131,46 +161,72 @@ func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
 	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
 	res.Stats.RelaxedQueries = len(u)
 
-	// Phase 2: probabilistic pruning via PMI.
-	t1 := time.Now()
-	var verifyList []int
-	if opt.SkipProbPruning || db.PMI == nil {
-		verifyList = scq
-	} else {
-		pr := db.newPruner(q, u, opt)
-		for _, gi := range scq {
-			switch pr.judge(gi) {
-			case judgePrune:
-				res.Stats.PrunedByUpper++
-			case judgeAccept:
-				res.Stats.AcceptedByLower++
-				res.Answers = append(res.Answers, gi)
-				res.SSP[gi] = -1
-			default:
-				verifyList = append(verifyList, gi)
-			}
-		}
+	// Phases 2+3, fused per candidate: probabilistic pruning via PMI
+	// bounds, then verification (§5) for the undecided. Each candidate is
+	// independent — bounds combine query-side relations with the graph's
+	// PMI row, verification touches only that graph's engine — so the
+	// pipeline fans out over the worker pool. Randomized steps draw from a
+	// per-candidate RNG seeded by candSeed, making the outcome identical
+	// at any concurrency.
+	probActive := !opt.SkipProbPruning && db.PMI != nil
+	var pr *pruner
+	if probActive {
+		t := time.Now()
+		pr = db.newPruner(u, opt, cache)
+		res.Stats.TimeProb += time.Since(t)
 	}
-	res.Stats.VerifyCandidates = len(verifyList)
-	res.Stats.TimeProb = time.Since(t1)
+	outs := make([]candOutcome, len(scq))
+	var abort atomic.Bool // first verification error stops remaining work
+	forEachIndex(len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
+		if abort.Load() {
+			return // a pending error makes this candidate's work moot
+		}
+		gi := scq[i]
+		o := &outs[i]
+		if probActive {
+			t := time.Now()
+			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
+			o.verdict = pr.judge(gi, rng)
+			o.probT = time.Since(t)
+		}
+		if o.verdict != judgeUndecided || opt.Verifier == VerifierNone {
+			return
+		}
+		t := time.Now()
+		o.ssp, o.err = db.VerifySSP(q, u, gi, opt)
+		o.verifyT = time.Since(t)
+		if o.err != nil {
+			abort.Store(true)
+		}
+	})
 
-	// Phase 3: verification (§5).
-	t2 := time.Now()
-	if opt.Verifier == VerifierNone {
-		res.Answers = append(res.Answers, verifyList...)
-	} else {
-		for _, gi := range verifyList {
-			ssp, err := db.VerifySSP(q, u, gi, opt)
-			if err != nil {
-				return nil, fmt.Errorf("core: verifying graph %d: %w", gi, err)
+	// Deterministic aggregation in database order.
+	for i, gi := range scq {
+		o := outs[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("core: verifying graph %d: %w", gi, o.err)
+		}
+		res.Stats.TimeProb += o.probT
+		res.Stats.TimeVerify += o.verifyT
+		switch o.verdict {
+		case judgePrune:
+			res.Stats.PrunedByUpper++
+		case judgeAccept:
+			res.Stats.AcceptedByLower++
+			res.Answers = append(res.Answers, gi)
+			res.SSP[gi] = -1
+		default:
+			res.Stats.VerifyCandidates++
+			if opt.Verifier == VerifierNone {
+				res.Answers = append(res.Answers, gi)
+				continue
 			}
-			res.SSP[gi] = ssp
-			if ssp >= opt.Epsilon {
+			res.SSP[gi] = o.ssp
+			if o.ssp >= opt.Epsilon {
 				res.Answers = append(res.Answers, gi)
 			}
 		}
 	}
-	res.Stats.TimeVerify = time.Since(t2)
 
 	sortInts(res.Answers)
 	res.Stats.Answers = len(res.Answers)
@@ -179,7 +235,10 @@ func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
 }
 
 // VerifySSP computes the subgraph similarity probability of q (with relaxed
-// set u) against graph gi using the configured verifier.
+// set u) against graph gi using the configured verifier. The SMP sampler's
+// seed is derived from opt.Seed and gi alone, so the estimate for a graph
+// is reproducible regardless of which other graphs are verified, in what
+// order, or on how many workers.
 func (db *Database) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOptions) (float64, error) {
 	opt = opt.withDefaults()
 	clauses := db.collectClauses(u, gi, opt.MaxClausesPerRQ)
@@ -191,7 +250,7 @@ func (db *Database) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt Quer
 		return verify.Exact(db.Engines[gi], clauses, opt.Verify.MaxClauses)
 	default:
 		vo := opt.Verify
-		vo.Seed = opt.Seed ^ int64(gi)*0x9e3779b97f4a7c
+		vo.Seed = candSeed(opt.Seed^verifySalt, gi)
 		return verify.SMP(db.Engines[gi], clauses, vo)
 	}
 }
@@ -235,11 +294,12 @@ const (
 
 // pruner evaluates the Pruning 1 / Pruning 2 conditions of §3.1 for one
 // query against any graph, reusing the query-side feature/rq relations.
+// After construction it is immutable and safe for concurrent judge calls;
+// randomized family selection draws from the caller's per-candidate rng.
 type pruner struct {
 	db  *Database
 	u   []*graph.Graph
 	opt QueryOptions
-	rng *rand.Rand
 
 	// supOf[j] = relaxed queries containing feature j (rq ⊇iso f, for the
 	// upper bound); subOf[j] = relaxed queries contained in feature j
@@ -248,20 +308,18 @@ type pruner struct {
 	subOf [][]int
 }
 
-func (db *Database) newPruner(q *graph.Graph, u []*graph.Graph, opt QueryOptions) *pruner {
-	p := &pruner{db: db, u: u, opt: opt, rng: rand.New(rand.NewSource(opt.Seed ^ 0x5bf03635))}
+func (db *Database) newPruner(u []*graph.Graph, opt QueryOptions, cache *relCache) *pruner {
+	p := &pruner{db: db, u: u, opt: opt}
 	nf := db.PMI.NumFeatures()
 	p.supOf = make([][]int, nf)
 	p.subOf = make([][]int, nf)
-	for j := 0; j < nf; j++ {
-		f := db.PMI.Features[j]
-		for i, rq := range u {
-			if iso.Exists(f, rq, nil) {
-				p.supOf[j] = append(p.supOf[j], i)
-			}
-			if iso.Exists(rq, f, nil) {
-				p.subOf[j] = append(p.subOf[j], i)
-			}
+	for i, rq := range u {
+		rel := db.featureRelations(rq, cache)
+		for _, j := range rel.sup {
+			p.supOf[j] = append(p.supOf[j], i)
+		}
+		for _, j := range rel.sub {
+			p.subOf[j] = append(p.subOf[j], i)
 		}
 	}
 	return p
@@ -269,13 +327,13 @@ func (db *Database) newPruner(q *graph.Graph, u []*graph.Graph, opt QueryOptions
 
 // judge applies Pruning 1 (upper < ε ⇒ prune) then Pruning 2 (lower ≥ ε ⇒
 // accept) to graph gi.
-func (p *pruner) judge(gi int) judgement {
+func (p *pruner) judge(gi int, rng *rand.Rand) judgement {
 	entries := p.db.PMI.Lookup(gi)
-	usim := p.upperBound(entries)
+	usim := p.upperBound(entries, rng)
 	if usim < p.opt.Epsilon {
 		return judgePrune
 	}
-	lsim := p.lowerBound(entries)
+	lsim := p.lowerBound(entries, rng)
 	if lsim >= p.opt.Epsilon {
 		return judgeAccept
 	}
@@ -290,7 +348,7 @@ func (p *pruner) judge(gi int) judgement {
 // OPT-SSPBound minimizes the covering weight with the greedy set cover
 // (Definition 10, Algorithm 1); plain SSPBound picks one qualifying feature
 // per rq at random (the paper's §6 baseline).
-func (p *pruner) upperBound(entries []pmi.Entry) float64 {
+func (p *pruner) upperBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 	if p.opt.OptBounds {
 		in := cover.Instance{NumElements: len(p.u)}
 		covered := make([]bool, len(p.u))
@@ -330,7 +388,7 @@ func (p *pruner) upperBound(entries []pmi.Entry) float64 {
 			total += 1
 			continue
 		}
-		total += choices[p.rng.Intn(len(choices))]
+		total += choices[rng.Intn(len(choices))]
 	}
 	return total
 }
@@ -350,7 +408,7 @@ func (p *pruner) upperBound(entries []pmi.Entry) float64 {
 // which holds for arbitrarily correlated events (Pr(A∧B) ≤ min(Pr A, Pr B)),
 // unlike the paper's Σ L − (Σ U)² whose pairwise product step assumes
 // independence and can over-accept under strong positive correlation.
-func (p *pruner) lowerBound(entries []pmi.Entry) float64 {
+func (p *pruner) lowerBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 	var chosen []int
 	if p.opt.OptBounds {
 		in := qp.Instance{NumElements: len(p.u)}
@@ -367,7 +425,7 @@ func (p *pruner) lowerBound(entries []pmi.Entry) float64 {
 		if len(in.Sets) == 0 {
 			return 0
 		}
-		for _, s := range qp.Solve(in, p.rng).Chosen {
+		for _, s := range qp.Solve(in, rng).Chosen {
 			chosen = append(chosen, featOf[s])
 		}
 	} else {
@@ -386,7 +444,7 @@ func (p *pruner) lowerBound(entries []pmi.Entry) float64 {
 				}
 			}
 			if len(choices) > 0 {
-				j := choices[p.rng.Intn(len(choices))]
+				j := choices[rng.Intn(len(choices))]
 				if !seen[j] {
 					seen[j] = true
 					chosen = append(chosen, j)

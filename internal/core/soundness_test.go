@@ -48,15 +48,16 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 		scq, _ := db.Struct.SCq(q, delta)
 		for _, optBounds := range []bool{false, true} {
 			qo := QueryOptions{Epsilon: 0.5, Delta: delta, OptBounds: optBounds, Seed: seed}
-			pr := db.newPruner(q, u, qo.withDefaults())
+			pr := db.newPruner(u, qo.withDefaults(), nil)
 			for _, gi := range scq {
 				exact, err := db.ExactSSPByEnumeration(q, gi, delta)
 				if err != nil {
 					t.Fatal(err)
 				}
 				entries := db.PMI.Lookup(gi)
-				upper := pr.upperBound(entries)
-				lower := pr.lowerBound(entries)
+				rng := rand.New(rand.NewSource(candSeed(qo.Seed^pruneSalt, gi)))
+				upper := pr.upperBound(entries, rng)
+				lower := pr.lowerBound(entries, rng)
 				const slack = 1e-9
 				if upper < exact-slack {
 					t.Logf("seed %d opt=%v graph %d: Usim %v < exact SSP %v", seed, optBounds, gi, upper, exact)

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/relax"
@@ -21,6 +23,15 @@ type TopKItem struct {
 // decreasing Usim order, and verification stops as soon as the next
 // candidate's upper bound cannot beat the current k-th best SSP.
 // QueryOptions.Epsilon is ignored.
+//
+// With opt.Concurrency > 1 both the bound computation and the verification
+// schedule fan out over the worker pool. Workers verify candidates
+// speculatively in schedule order while a commit loop folds finished
+// results into the top-k sequentially, applying the exact serial
+// termination rule — so the returned ranking is bitwise-identical to a
+// serial run at any worker count. Speculation past the serial cutoff is
+// bounded and its results are discarded, costing only wasted work, never
+// a changed answer.
 func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
 	opt = opt.withDefaults()
 	if k <= 0 {
@@ -41,87 +52,183 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 		return nil, nil
 	}
 	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	workers := normalizeWorkers(opt.Concurrency, len(scq))
 
-	// Upper bounds order the verification schedule.
+	// Upper bounds order the verification schedule. Each candidate's bound
+	// draws from its own candSeed-derived rng, so the schedule is the same
+	// at any worker count.
 	type cand struct {
 		gi    int
 		upper float64
 	}
-	cands := make([]cand, 0, len(scq))
+	cands := make([]cand, len(scq))
 	if db.PMI != nil {
-		pr := db.newPruner(q, u, opt)
-		for _, gi := range scq {
-			ub := pr.upperBound(db.PMI.Lookup(gi))
+		pr := db.newPruner(u, opt, nil)
+		forEachIndex(len(scq), workers, func(i int) {
+			gi := scq[i]
+			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
+			ub := pr.upperBound(db.PMI.Lookup(gi), rng)
 			if ub > 1 {
 				ub = 1
 			}
-			cands = append(cands, cand{gi, ub})
-		}
+			cands[i] = cand{gi, ub}
+		})
 	} else {
-		for _, gi := range scq {
-			cands = append(cands, cand{gi, 1})
+		for i, gi := range scq {
+			cands[i] = cand{gi, 1}
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].upper > cands[j].upper })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].upper != cands[j].upper {
+			return cands[i].upper > cands[j].upper
+		}
+		return cands[i].gi < cands[j].gi
+	})
 
-	var top []TopKItem
+	// Verification with bound-based early termination. Workers verify
+	// candidates speculatively in schedule order; a sequential commit
+	// loop replays the serial algorithm over finished results — stop the
+	// moment the next candidate's upper bound cannot beat the k-th best
+	// SSP, otherwise fold its SSP in. Per-graph SSPs are deterministic
+	// (candSeed), so the committed prefix — and hence the result — is
+	// exactly the serial run's. A lookahead window bounds how far workers
+	// may speculate past the last committed result; results beyond the
+	// serial cutoff are discarded.
+	n := len(cands)
+	window := 2 * workers
+	if window < k {
+		window = k
+	}
+	var (
+		mu        sync.Mutex
+		next      int  // next speculative index to hand out
+		committed int  // results folded into top, in schedule order
+		stopped   bool // serial termination rule fired
+		firstErr  error
+		done      = make([]bool, n)
+		ssps      = make([]float64, n)
+		errs      = make([]error, n)
+		top       []TopKItem
+	)
+	cond := sync.NewCond(&mu)
 	kthBest := func() float64 {
 		if len(top) < k {
 			return 0
 		}
 		return top[len(top)-1].SSP
 	}
-	for _, c := range cands {
-		if len(top) >= k && c.upper <= kthBest() {
-			break // no remaining candidate can enter the top k
+	// commit advances over finished results exactly as the serial loop
+	// would. The termination rule needs only the committed prefix — not
+	// candidate `committed`'s own verification — so it is checked before
+	// waiting on done[committed]; the cutoff then fires without paying
+	// for the first hopeless candidate. Caller holds mu.
+	commit := func() {
+		for !stopped && firstErr == nil && committed < n {
+			c := cands[committed]
+			if len(top) >= k && c.upper <= kthBest() {
+				stopped = true
+				break
+			}
+			if !done[committed] {
+				break
+			}
+			if errs[committed] != nil {
+				firstErr = fmt.Errorf("core: verifying graph %d: %w", c.gi, errs[committed])
+				break
+			}
+			if ssp := ssps[committed]; ssp > 0 {
+				top = append(top, TopKItem{Graph: c.gi, SSP: ssp})
+				sort.Slice(top, func(i, j int) bool {
+					if top[i].SSP != top[j].SSP {
+						return top[i].SSP > top[j].SSP
+					}
+					return top[i].Graph < top[j].Graph
+				})
+				if len(top) > k {
+					top = top[:k]
+				}
+			}
+			committed++
 		}
-		ssp, err := db.VerifySSP(q, u, c.gi, opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: verifying graph %d: %w", c.gi, err)
+	}
+	verifyWorker := func() {
+		for {
+			mu.Lock()
+			for !stopped && firstErr == nil && next < n && next >= committed+window {
+				cond.Wait()
+			}
+			if stopped || firstErr != nil || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+
+			ssp, err := db.VerifySSP(q, u, cands[i].gi, opt)
+
+			mu.Lock()
+			ssps[i], errs[i], done[i] = ssp, err, true
+			commit()
+			cond.Broadcast()
+			mu.Unlock()
 		}
-		if ssp <= 0 {
-			continue
+	}
+	if workers <= 1 {
+		verifyWorker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				verifyWorker()
+			}()
 		}
-		top = append(top, TopKItem{Graph: c.gi, SSP: ssp})
-		sort.Slice(top, func(i, j int) bool { return top[i].SSP > top[j].SSP })
-		if len(top) > k {
-			top = top[:k]
-		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return top, nil
 }
 
-// QueryBatch answers many queries concurrently over a bounded worker pool
-// (workers ≤ 0 selects one per query, capped at 8). The database is
-// read-only during queries, so batch execution is safe; each query gets a
-// distinct derived seed for reproducibility.
-func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions, workers int) ([]*Result, error) {
-	if workers <= 0 {
-		workers = len(qs)
-		if workers > 8 {
-			workers = 8
-		}
+// QueryBatch answers many queries over one bounded worker pool of
+// opt.Concurrency goroutines (0 or 1 serial, negative GOMAXPROCS) and
+// returns their results in input order. Query i runs with the derived seed
+// BatchSeed(opt.Seed, i), so its result is bitwise-identical to calling
+// Query with that seed directly — batching never changes answers.
+//
+// The pool is spread across queries first; leftover capacity (when the
+// pool is larger than the batch) parallelizes candidates inside each
+// query. Queries additionally share one feature-relation cache, amortizing
+// the query-side feature/relaxed-query isomorphism tests that dominate
+// pruner setup when the batch's queries overlap structurally.
+func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
 	}
+	workers := normalizeWorkers(opt.Concurrency, len(qs))
+	inner := 1
+	if w := normalizeWorkers(opt.Concurrency, len(qs)*db.Len()); w > workers {
+		inner = w / workers
+	}
+	cache := newRelCache()
 	results := make([]*Result, len(qs))
 	errs := make([]error, len(qs))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				qo := opt
-				qo.Seed = opt.Seed + int64(i)*1000003
-				results[i], errs[i] = db.Query(qs[i], qo)
-			}
-		}()
-	}
-	for i := range qs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	var abort atomic.Bool // first failed query stops remaining work
+	forEachIndex(len(qs), workers, func(i int) {
+		if abort.Load() {
+			return
+		}
+		qo := opt
+		qo.Seed = BatchSeed(opt.Seed, i)
+		qo.Concurrency = inner
+		results[i], errs[i] = db.query(qs[i], qo, cache)
+		if errs[i] != nil {
+			abort.Store(true)
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: query %d: %w", i, err)

@@ -100,15 +100,16 @@ func TestQueryBatchMatchesSequential(t *testing.T) {
 	opt := QueryOptions{
 		Epsilon: 0.4, Delta: 1, OptBounds: true,
 		Verifier: VerifierExact, Verify: verify.Options{MaxClauses: 22},
-		Seed: 7,
+		Seed: 7, Concurrency: 4,
 	}
-	batch, err := db.QueryBatch(qs, opt, 4)
+	batch, err := db.QueryBatch(qs, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
 		qo := opt
-		qo.Seed = opt.Seed + int64(i)*1000003
+		qo.Seed = BatchSeed(opt.Seed, i)
+		qo.Concurrency = 1
 		seq, err := db.Query(q, qo)
 		if err != nil {
 			t.Fatal(err)

@@ -16,6 +16,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/prob"
@@ -283,8 +284,17 @@ func ExtractQuery(g *graph.Graph, edges int, rng *rand.Rand) *graph.Graph {
 	chosen := map[graph.EdgeID]bool{start: true}
 	visited := map[graph.VertexID]bool{g.Edge(start).U: true, g.Edge(start).V: true}
 	for len(chosen) < edges {
-		var frontier []graph.EdgeID
+		// Walk visited vertices in sorted order: ranging over the map
+		// would let Go's randomized iteration order reorder the frontier
+		// and derail the rng draws, making extraction nondeterministic
+		// across processes even for a fixed seed.
+		vs := make([]graph.VertexID, 0, len(visited))
 		for v := range visited {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		var frontier []graph.EdgeID
+		for _, v := range vs {
 			for _, h := range g.Neighbors(v) {
 				if !chosen[h.Edge] {
 					frontier = append(frontier, h.Edge)
@@ -303,6 +313,7 @@ func ExtractQuery(g *graph.Graph, edges int, rng *rand.Rand) *graph.Graph {
 	for e := range chosen {
 		ids = append(ids, e)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	q := g.EdgeSubgraph(ids).DropIsolated()
 	return q.Rename(fmt.Sprintf("q%d", q.NumEdges()))
 }

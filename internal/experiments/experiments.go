@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"probgraph/internal/core"
@@ -30,6 +31,10 @@ type Config struct {
 	Scale string
 	// Seed fixes all randomness.
 	Seed int64
+	// Workers bounds the per-query candidate worker pool (0/1 serial,
+	// negative GOMAXPROCS). Results are identical at any setting; only
+	// timings change.
+	Workers int
 }
 
 type preset struct {
@@ -164,12 +169,13 @@ func (e *Env) plainDB() (*core.Database, error) {
 // defaultQO returns the default query configuration (OPT everything, SMP).
 func (e *Env) defaultQO(seed int64) core.QueryOptions {
 	return core.QueryOptions{
-		Epsilon:   e.P.defaultEpsilon,
-		Delta:     e.P.defaultDelta,
-		OptBounds: true,
-		Verifier:  core.VerifierSMP,
-		Verify:    verify.Options{N: e.P.verifyN},
-		Seed:      seed,
+		Epsilon:     e.P.defaultEpsilon,
+		Delta:       e.P.defaultDelta,
+		OptBounds:   true,
+		Verifier:    core.VerifierSMP,
+		Verify:      verify.Options{N: e.P.verifyN},
+		Seed:        seed,
+		Concurrency: e.Cfg.Workers,
 	}
 }
 
@@ -298,6 +304,7 @@ func (e *Env) pruneOnce(db *core.Database, q *graph.Graph, eps float64, delta in
 	qo := core.QueryOptions{
 		Epsilon: eps, Delta: delta, OptBounds: optBounds,
 		Verifier: core.VerifierNone, Seed: seed,
+		Concurrency: e.Cfg.Workers,
 	}
 	start := time.Now()
 	res, err := db.Query(q, qo)
@@ -647,6 +654,66 @@ func (e *Env) Fig14() (*stats.Table, error) {
 		t.AddRow(eps, dataset.Mean(cp), dataset.Mean(cr),
 			dataset.Mean(rp), dataset.Mean(rr),
 			dataset.Mean(ip), dataset.Mean(ir))
+	}
+	return t, nil
+}
+
+// Scaling measures the concurrent engine: the default query workload runs
+// at increasing worker counts, per-query (Concurrency inside one Query)
+// and batched (the pool spread across queries by QueryBatch). Answer sets
+// are asserted identical to the serial run at every setting — the table
+// only reports time. Not a paper figure; it validates the ROADMAP's
+// parallel-engine direction.
+func (e *Env) Scaling(workerCounts []int) (*stats.Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	qs := e.Queries[e.P.defaultQuerySize]
+	t := stats.NewTable("Parallel scaling — default workload",
+		"workers", "ms/query", "speedup", "batch ms", "batch speedup")
+	var baseline, batchBaseline []*core.Result
+	baseQueryMS, baseBatchMS := 0.0, 0.0
+	for _, w := range workerCounts {
+		var queryMS float64
+		var queryRes []*core.Result
+		for qi, q := range qs {
+			qo := e.defaultQO(int64(qi))
+			qo.Concurrency = w
+			start := time.Now()
+			res, err := e.DB.Query(q, qo)
+			if err != nil {
+				return nil, err
+			}
+			queryMS += ms(time.Since(start))
+			queryRes = append(queryRes, res)
+		}
+		queryMS /= float64(len(qs))
+
+		qo := e.defaultQO(0)
+		qo.Concurrency = w
+		start := time.Now()
+		batchRes, err := e.DB.QueryBatch(qs, qo)
+		if err != nil {
+			return nil, err
+		}
+		batchMS := ms(time.Since(start))
+
+		if baseline == nil {
+			baseline, batchBaseline = queryRes, batchRes
+			baseQueryMS, baseBatchMS = queryMS, batchMS
+		} else {
+			for qi := range qs {
+				if !slices.Equal(queryRes[qi].Answers, baseline[qi].Answers) {
+					return nil, fmt.Errorf("experiments: workers=%d query %d diverged: %v vs %v",
+						w, qi, queryRes[qi].Answers, baseline[qi].Answers)
+				}
+				if !slices.Equal(batchRes[qi].Answers, batchBaseline[qi].Answers) {
+					return nil, fmt.Errorf("experiments: workers=%d batch query %d diverged: %v vs %v",
+						w, qi, batchRes[qi].Answers, batchBaseline[qi].Answers)
+				}
+			}
+		}
+		t.AddRow(w, queryMS, baseQueryMS/queryMS, batchMS, baseBatchMS/batchMS)
 	}
 	return t, nil
 }

@@ -33,6 +33,18 @@
 //	    probgraph.DefaultBuildOptions())
 //	res, _ := db.Query(query, probgraph.QueryOptions{Epsilon: 0.5, Delta: 1})
 //
+// # Concurrency
+//
+// The pipeline is embarrassingly parallel across database graphs, and the
+// engine exploits that: QueryOptions.Concurrency bounds a worker pool that
+// evaluates candidates (bound combination and verification) in parallel,
+// both in Query/QueryTopK and across the queries of Database.QueryBatch.
+// Results are deterministic at every worker count — all per-candidate
+// randomness is seeded from QueryOptions.Seed and the candidate's graph
+// index, never from scheduling order — so a parallel run returns exactly
+// what the serial run would. A Database is immutable during queries and
+// safe for concurrent use from multiple goroutines (AddGraph excepted).
+//
 // See the examples directory for complete programs: examples/quickstart
 // walks the paper's own Figure 1 instance, examples/ppi searches a
 // synthetic protein-interaction workload and compares the correlated model
@@ -89,7 +101,7 @@ type (
 	// construction, OPT-SIPBound vs SIPBound).
 	BuildOptions = core.BuildOptions
 	// QueryOptions configures one T-PS query (ε, δ, OPT-SSPBound vs
-	// SSPBound, verifier choice).
+	// SSPBound, verifier choice, Concurrency worker-pool bound).
 	QueryOptions = core.QueryOptions
 	// Result is a query outcome with per-phase statistics.
 	Result = core.Result
@@ -147,6 +159,17 @@ func DefaultBuildOptions() BuildOptions { return core.DefaultBuildOptions() }
 // Database.AddGraph (on the aliased core type) inserts one graph
 // incrementally — engine, structural counts, and PMI column — without
 // re-mining the feature vocabulary.
+//
+// Database.QueryBatch (also on the aliased core type) answers many queries
+// over one bounded worker pool of QueryOptions.Concurrency goroutines,
+// sharing a feature-relation cache that amortizes the query-side feature
+// isomorphism tests across structurally overlapping queries. Query i runs
+// with the derived seed BatchSeed(Seed, i), so batching never changes an
+// individual query's result.
+
+// BatchSeed is the per-query seed Database.QueryBatch derives for the i-th
+// query of a batch; running Query with it reproduces that batch member.
+func BatchSeed(seed int64, i int) int64 { return core.BatchSeed(seed, i) }
 
 // TopKItem is one ranked answer of Database.QueryTopK: the k graphs with
 // the highest subgraph similarity probability, verified in decreasing
