@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling]
-//	        [-workers N] [-seed N]
+//	        [-workers N] [-seed N] [-json out.json]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
 // shape of each series (see EXPERIMENTS.md).
@@ -15,13 +15,21 @@
 // prints a dedicated parallel-speedup table sweeping the worker count;
 // it is not part of the paper's evaluation, so -fig all (the default)
 // covers the paper figures only and scaling must be requested explicitly.
+//
+// -json out.json additionally writes every produced table as
+// machine-readable series — figure name, headers, raw rows, per-column
+// numeric series against the first column as x, and the figure's wall
+// time — so the performance trajectory can be tracked across commits
+// (BENCH_*.json artifacts).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,11 +37,29 @@ import (
 	"probgraph/internal/stats"
 )
 
+// seriesJSON is one y-column of a table plotted against the first column.
+type seriesJSON struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// figureJSON is one table's machine-readable export.
+type figureJSON struct {
+	Figure  string       `json:"figure"`
+	Title   string       `json:"title"`
+	Headers []string     `json:"headers"`
+	Rows    [][]string   `json:"rows"`
+	Series  []seriesJSON `json:"series"`
+	WallMS  float64      `json:"wall_ms"`
+}
+
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
 	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling (extra, never implied by all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
 	flag.Parse()
 
 	start := time.Now()
@@ -46,57 +72,134 @@ func main() {
 		env.DB.Len(), env.DB.Build.Features,
 		env.DB.Build.FeatureTime+env.DB.Build.PMITime+env.DB.Build.StructTime)
 
+	var figures []figureJSON
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name) ||
 			(len(name) > 2 && strings.EqualFold(*fig, name[:2]))
 	}
-	render := func(t *stats.Table, err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-		t.Render(os.Stdout)
-		fmt.Println()
-	}
-
-	if want("9a") {
-		render(env.Fig9a())
-	}
-	if want("9b") {
-		render(env.Fig9b())
-	}
-	if want("10") {
-		a, b, err := env.Fig10()
-		if err != nil {
-			log.Fatal(err)
-		}
-		render(a, nil)
-		render(b, nil)
-	}
-	if want("11") {
-		a, b, err := env.Fig11()
-		if err != nil {
-			log.Fatal(err)
-		}
-		render(a, nil)
-		render(b, nil)
-	}
-	if want("12") {
-		tables, err := env.Fig12()
+	// run executes one figure, renders its tables, and records them with
+	// the figure's wall time split evenly across its tables.
+	run := func(name string, f func() ([]*stats.Table, error)) {
+		t0 := time.Now()
+		tables, err := f()
+		wall := float64(time.Since(t0).Microseconds()) / 1000
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, t := range tables {
-			render(t, nil)
+			t.Render(os.Stdout)
+			fmt.Println()
+			figures = append(figures, tableJSON(name, t, wall/float64(len(tables))))
 		}
 	}
+	one := func(f func() (*stats.Table, error)) func() ([]*stats.Table, error) {
+		return func() ([]*stats.Table, error) {
+			t, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*stats.Table{t}, nil
+		}
+	}
+	two := func(f func() (*stats.Table, *stats.Table, error)) func() ([]*stats.Table, error) {
+		return func() ([]*stats.Table, error) {
+			a, b, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*stats.Table{a, b}, nil
+		}
+	}
+
+	if want("9a") {
+		run("9a", one(env.Fig9a))
+	}
+	if want("9b") {
+		run("9b", one(env.Fig9b))
+	}
+	if want("10") {
+		run("10", two(env.Fig10))
+	}
+	if want("11") {
+		run("11", two(env.Fig11))
+	}
+	if want("12") {
+		run("12", env.Fig12)
+	}
 	if want("13") {
-		render(env.Fig13())
+		run("13", one(env.Fig13))
 	}
 	if want("14") {
-		render(env.Fig14())
+		run("14", one(env.Fig14))
 	}
 	if strings.EqualFold(*fig, "scaling") {
-		render(env.Scaling(nil))
+		run("scaling", one(func() (*stats.Table, error) { return env.Scaling(nil) }))
+	}
+
+	if *jsonPath != "" {
+		out := struct {
+			Scale   string       `json:"scale"`
+			Seed    int64        `json:"seed"`
+			Workers int          `json:"workers"`
+			WallMS  float64      `json:"wall_ms"`
+			Figures []figureJSON `json:"figures"`
+		}{*scale, *seed, *workers, float64(time.Since(start).Microseconds()) / 1000, figures}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d figure series to %s\n", len(figures), *jsonPath)
 	}
 	fmt.Printf("pgbench done in %v\n", time.Since(start))
+}
+
+// tableJSON converts a rendered table to its export form: raw rows always,
+// plus numeric series (per non-x column) when the cells parse as numbers.
+// Non-numeric cells (verifier names, "n/a") simply omit that point, so a
+// series' x and y stay aligned.
+func tableJSON(name string, t *stats.Table, wallMS float64) figureJSON {
+	fj := figureJSON{
+		Figure:  name,
+		Title:   t.Title,
+		Headers: t.Headers,
+		Rows:    t.Rows(),
+		Series:  []seriesJSON{},
+		WallMS:  wallMS,
+	}
+	if len(t.Headers) < 2 {
+		return fj
+	}
+	for col := 1; col < len(t.Headers); col++ {
+		s := seriesJSON{Name: t.Headers[col], X: []float64{}, Y: []float64{}}
+		for _, row := range t.Rows() {
+			if col >= len(row) {
+				continue
+			}
+			x, errX := parseCell(row[0])
+			y, errY := parseCell(row[col])
+			if errX != nil || errY != nil {
+				continue
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		if len(s.Y) > 0 {
+			fj.Series = append(fj.Series, s)
+		}
+	}
+	return fj
+}
+
+// parseCell reads a numeric table cell, tolerating unit-ish suffixes the
+// tables use (q50 → 50 is NOT parsed; "12.5" and "3e-2" are).
+func parseCell(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
 }

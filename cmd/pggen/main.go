@@ -5,16 +5,30 @@
 //
 //	pggen -o db.pgraph [-n 120] [-organisms 6] [-minv 10] [-maxv 16]
 //	      [-meanprob 0.383] [-mutations 0.25] [-independent] [-seed 1]
+//	      [-savesnap db.idx]
+//	pggen -query [-from db.pgraph] [-qsize 6] [-qfrom 0] -o q.pgraph
 //
 // The generator mirrors the paper's experimental construction (§6):
 // STRING-like PPI graphs with COG-style labels and max-rule JPTs over
 // neighbor-edge sets; -independent drops correlations (the IND model).
+//
+// -savesnap additionally builds the full index (structural filter, feature
+// mining, PMI) and writes it as one snapshot, ready for pgserve -snapshot
+// or pgsearch -loadsnap — the offline step of the paper's offline/online
+// split, done once at generation time.
+//
+// -query switches to query-workload mode: instead of a database, write one
+// connected query graph extracted from a database graph's certain
+// structure (the paper's workload construction). -from names an existing
+// database file; without it the database is generated in memory from the
+// same flags, so a given seed always yields the same query.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 
 	"probgraph"
@@ -33,7 +47,22 @@ func main() {
 	mutations := flag.Float64("mutations", 0.25, "per-graph edge rewiring rate")
 	independent := flag.Bool("independent", false, "independent-edge model (IND) instead of correlated (COR)")
 	seed := flag.Int64("seed", 1, "random seed")
+	saveSnap := flag.String("savesnap", "", "also build the full index and write a snapshot to this file")
+	queryMode := flag.Bool("query", false, "write a query graph instead of a database")
+	from := flag.String("from", "", "query mode: extract from this database file (default: generate)")
+	qsize := flag.Int("qsize", 6, "query mode: query size (edges)")
+	qfrom := flag.Int("qfrom", 0, "query mode: index of the source graph")
 	flag.Parse()
+
+	if *queryMode {
+		writeQuery(*from, *out, *qsize, *qfrom, *seed, probgraph.DatasetOptions{
+			NumGraphs: *n, Organisms: *organisms,
+			MinVertices: *minV, MaxVertices: *maxV, EdgeFactor: *edgeFactor,
+			Labels: *labels, MeanProb: *meanProb, MaxGroup: *maxGroup,
+			Mutations: *mutations, Correlated: !*independent, Seed: *seed,
+		})
+		return
+	}
 
 	db, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
 		NumGraphs: *n, Organisms: *organisms,
@@ -58,6 +87,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *saveSnap != "" {
+		idxDB, err := probgraph.NewDatabase(db.Graphs, probgraph.DefaultBuildOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*saveSnap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := idxDB.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		feats := 0
+		if idxDB.PMI != nil {
+			feats = idxDB.PMI.NumFeatures()
+		}
+		fmt.Fprintf(os.Stderr, "pggen: wrote snapshot (%d PMI features) to %s\n", feats, *saveSnap)
+	}
+
 	totalV, totalE := 0, 0
 	for _, pg := range db.Graphs {
 		totalV += pg.G.NumVertices()
@@ -66,6 +117,50 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pggen: wrote %d graphs (avg %.1f vertices, %.1f edges) to %s\n",
 		len(db.Graphs), float64(totalV)/float64(len(db.Graphs)),
 		float64(totalE)/float64(len(db.Graphs)), orStdout(*out))
+}
+
+// writeQuery extracts one connected query graph and writes it in the text
+// codec pgsearch -qfile and the pgserve graph_text payload accept.
+func writeQuery(from, out string, qsize, qfrom int, seed int64, genOpt probgraph.DatasetOptions) {
+	var db *probgraph.Dataset
+	if from != "" {
+		f, err := os.Open(from)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err = probgraph.LoadDataset(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		db, err = probgraph.GeneratePPI(genOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(db.Graphs) == 0 {
+		log.Fatal("pggen: empty database")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	src := db.Graphs[qfrom%len(db.Graphs)].G
+	q := probgraph.ExtractQuery(src, qsize, rng)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := probgraph.SaveGraph(w, q); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pggen: wrote query %s (%d vertices, %d edges) to %s\n",
+		q.Name(), q.NumVertices(), q.NumEdges(), orStdout(out))
 }
 
 func orStdout(path string) string {

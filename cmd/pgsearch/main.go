@@ -5,12 +5,20 @@
 // Usage:
 //
 //	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
-//	         [-qfrom 0] [-queries 5] [-verifier smp|exact|none]
-//	         [-plain] [-workers 1] [-batch] [-seed 1] [-v]
+//	         [-qfrom 0] [-queries 5] [-qfile q.pgraph] [-verifier smp|exact|none]
+//	         [-plain] [-workers 1] [-batch] [-seed 1] [-v] [-json]
+//	         [-savesnap db.idx]
+//	pgsearch -loadsnap db.idx ...   (start from a snapshot, no re-indexing)
 //
 // Queries are extracted from the certain graph of the graph at index
 // -qfrom (rotating across -queries runs), matching the paper's workload
-// construction.
+// construction — or read verbatim from -qfile (one or more graph blocks,
+// as written by pggen -query).
+//
+// -savesnap persists the indexed database as one snapshot file; -loadsnap
+// restores it without re-mining features or recomputing PMI bounds, so
+// repeated sessions (and cmd/pgserve) skip the offline index build.
+// -json prints machine-readable results to stdout instead of tables.
 //
 // -workers N evaluates candidate graphs on a pool of N goroutines (N < 0
 // selects GOMAXPROCS). -batch additionally runs all queries through one
@@ -20,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,12 +41,15 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "database file from pggen (required)")
+	dbPath := flag.String("db", "", "database file from pggen")
+	loadSnap := flag.String("loadsnap", "", "snapshot file to load instead of -db (skips indexing)")
+	saveSnap := flag.String("savesnap", "", "write the indexed database snapshot to this file")
 	epsilon := flag.Float64("epsilon", 0.5, "probability threshold ε")
 	delta := flag.Int("delta", 2, "subgraph distance threshold δ")
 	qsize := flag.Int("qsize", 6, "query size (edges)")
 	qfrom := flag.Int("qfrom", 0, "index of the graph to extract queries from")
 	queries := flag.Int("queries", 5, "number of queries to run")
+	qfile := flag.String("qfile", "", "read query graph(s) from this file instead of extracting")
 	verifier := flag.String("verifier", "smp", "verifier: smp, exact, none")
 	plain := flag.Bool("plain", false, "use plain SSPBound instead of OPT-SSPBound")
 	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
@@ -46,48 +58,86 @@ func main() {
 	loadIndex := flag.String("loadindex", "", "load a previously saved PMI index instead of rebuilding")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-answer SSP estimates")
+	jsonOut := flag.Bool("json", false, "print results as JSON to stdout (suppresses tables)")
 	flag.Parse()
 
-	if *dbPath == "" {
+	if (*dbPath == "") == (*loadSnap == "") {
+		fmt.Fprintln(os.Stderr, "pgsearch: give exactly one of -db or -loadsnap")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*dbPath)
-	if err != nil {
-		log.Fatal(err)
+	say := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
 	}
-	raw, err := probgraph.LoadDataset(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("loaded %d probabilistic graphs\n", len(raw.Graphs))
 
 	start := time.Now()
-	buildOpt := probgraph.DefaultBuildOptions()
-	buildOpt.SkipPMI = *loadIndex != ""
-	db, err := probgraph.NewDatabase(raw.Graphs, buildOpt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *loadIndex != "" {
-		idxFile, err := os.Open(*loadIndex)
+	var db *probgraph.Database
+	if *loadSnap != "" {
+		f, err := os.Open(*loadSnap)
 		if err != nil {
 			log.Fatal(err)
 		}
-		idx, err := probgraph.LoadPMI(idxFile)
-		idxFile.Close()
+		db, err = probgraph.LoadDatabase(f)
+		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := db.AttachPMI(idx); err != nil {
+		say("loaded snapshot %s: %d graphs in %v (no re-indexing)\n",
+			*loadSnap, db.Len(), time.Since(start).Round(time.Millisecond))
+	} else {
+		f, err := os.Open(*dbPath)
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("loaded PMI index from %s (%d features)\n", *loadIndex, idx.NumFeatures())
+		raw, err := probgraph.LoadDataset(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		say("loaded %d probabilistic graphs\n", len(raw.Graphs))
+		buildOpt := probgraph.DefaultBuildOptions()
+		buildOpt.SkipPMI = *loadIndex != ""
+		db, err = probgraph.NewDatabase(raw.Graphs, buildOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *loadIndex != "" {
+			idxFile, err := os.Open(*loadIndex)
+			if err != nil {
+				log.Fatal(err)
+			}
+			idx, err := probgraph.LoadPMI(idxFile)
+			idxFile.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := db.AttachPMI(idx); err != nil {
+				log.Fatal(err)
+			}
+			say("loaded PMI index from %s (%d features)\n", *loadIndex, idx.NumFeatures())
+		}
+		say("indexed in %v: %d PMI features, %.1f KB index\n\n",
+			time.Since(start), db.PMI.NumFeatures(), float64(db.Build.IndexSizeBytes)/1024)
 	}
-	fmt.Printf("indexed in %v: %d PMI features, %.1f KB index\n\n",
-		time.Since(start), db.PMI.NumFeatures(), float64(db.Build.IndexSizeBytes)/1024)
+	if *saveSnap != "" {
+		f, err := os.Create(*saveSnap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		say("saved snapshot to %s\n", *saveSnap)
+	}
 	if *saveIndex != "" {
+		if db.PMI == nil {
+			log.Fatal("pgsearch: no PMI to save")
+		}
 		idxFile, err := os.Create(*saveIndex)
 		if err != nil {
 			log.Fatal(err)
@@ -96,7 +146,7 @@ func main() {
 			log.Fatal(err)
 		}
 		idxFile.Close()
-		fmt.Printf("saved PMI index to %s\n", *saveIndex)
+		say("saved PMI index to %s\n", *saveIndex)
 	}
 
 	var vk probgraph.VerifierKind
@@ -111,11 +161,28 @@ func main() {
 		log.Fatalf("unknown verifier %q", *verifier)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	qs := make([]*probgraph.Graph, *queries)
-	for i := range qs {
-		src := raw.Graphs[(*qfrom+i)%len(raw.Graphs)].G
-		qs[i] = probgraph.ExtractQuery(src, *qsize, rng)
+	var qs []*probgraph.Graph
+	if *qfile != "" {
+		f, err := os.Open(*qfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err = probgraph.LoadGraphs(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(qs) == 0 {
+			log.Fatalf("pgsearch: no query graphs in %s", *qfile)
+		}
+		say("loaded %d query graph(s) from %s\n", len(qs), *qfile)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		qs = make([]*probgraph.Graph, *queries)
+		for i := range qs {
+			src := db.Graphs[(*qfrom+i)%db.Len()].G
+			qs[i] = probgraph.ExtractQuery(src, *qsize, rng)
+		}
 	}
 
 	qStart := time.Now()
@@ -147,6 +214,11 @@ func main() {
 	}
 	elapsed := time.Since(qStart)
 
+	if *jsonOut {
+		printJSON(qs, results, db, elapsed)
+		return
+	}
+
 	table := stats.NewTable("query results",
 		"query", "answers", "struct", "pruned", "accepted", "verified", "time")
 	for i, res := range results {
@@ -166,11 +238,55 @@ func main() {
 				if ssp == -1 {
 					tag = "accepted by lower bound"
 				}
-				fmt.Printf("  q%d → %s (%s)\n", i, raw.Graphs[gi].G.Name(), tag)
+				fmt.Printf("  q%d → %s (%s)\n", i, db.Graphs[gi].G.Name(), tag)
 			}
 		}
 	}
 	table.Render(os.Stdout)
 	fmt.Printf("%d queries in %v (workers=%d, batch=%v)\n",
 		len(qs), elapsed.Round(time.Microsecond), *workers, *batch)
+}
+
+// queryJSON is one query's machine-readable result; answers and ssp are
+// exactly the library's (ssp -1 marks direct lower-bound accepts).
+type queryJSON struct {
+	Query    int             `json:"query"`
+	Edges    int             `json:"edges"`
+	Answers  []int           `json:"answers"`
+	Names    []string        `json:"names"`
+	SSP      map[int]float64 `json:"ssp"`
+	Pruned   int             `json:"pruned"`
+	Accepted int             `json:"accepted"`
+	Verified int             `json:"verified"`
+	TimeMS   float64         `json:"time_ms"`
+}
+
+func printJSON(qs []*probgraph.Graph, results []*probgraph.Result, db *probgraph.Database, elapsed time.Duration) {
+	out := struct {
+		Results []queryJSON `json:"results"`
+		TimeMS  float64     `json:"time_ms"`
+	}{Results: []queryJSON{}, TimeMS: float64(elapsed.Microseconds()) / 1000}
+	for i, res := range results {
+		answers := res.Answers
+		if answers == nil {
+			answers = []int{}
+		}
+		names := make([]string, len(answers))
+		for k, gi := range answers {
+			names[k] = db.Graphs[gi].G.Name()
+		}
+		out.Results = append(out.Results, queryJSON{
+			Query: i, Edges: qs[i].NumEdges(),
+			Answers: answers, Names: names, SSP: res.SSP,
+			Pruned:   res.Stats.PrunedByUpper,
+			Accepted: res.Stats.AcceptedByLower,
+			Verified: res.Stats.VerifyCandidates,
+			TimeMS:   float64(res.Stats.TimeTotal.Microseconds()) / 1000,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
 }

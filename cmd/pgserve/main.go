@@ -1,0 +1,135 @@
+// Command pgserve is a long-running T-PS query service: it loads an
+// indexed database once and answers queries over an HTTP/JSON API, running
+// each request on the engine's deterministic worker pool and serving
+// repeated queries from an LRU result cache.
+//
+// Usage:
+//
+//	pgserve -snapshot db.idx [-addr :8091] [-cache 256] [-workers -1]
+//	        [-inflight 0]
+//	pgserve -db db.pgraph ...   (build the index at startup instead)
+//
+// With -snapshot (written by pgsearch -savesnap, pggen -savesnap, or
+// probgraph.Database.Save) startup is parse + junction-tree construction
+// only — no feature mining, no PMI bound computation. With -db the full
+// index is built first (the offline step the snapshot amortizes away).
+//
+// Endpoints (JSON bodies; see internal/server for the wire types):
+//
+//	POST /query    one T-PS query: graph|graph_text, epsilon, delta,
+//	               verifier, plain, seed, workers, no_cache
+//	POST /topk     ranked top-k variant (adds k)
+//	POST /batch    many queries, one option set, per-member derived seeds
+//	POST /graphs   incremental AddGraph ingestion (pgraph JSON or text)
+//	GET  /stats    server + cache counters
+//	GET  /healthz  liveness probe
+//
+// Every response is bitwise-identical to the corresponding library call
+// with the same seed; workers changes latency, never answers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"probgraph"
+	"probgraph/internal/core"
+	"probgraph/internal/server"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "snapshot file from pgsearch -savesnap / pggen -savesnap")
+	dbPath := flag.String("db", "", "dataset file from pggen (index built at startup)")
+	addr := flag.String("addr", ":8091", "listen address")
+	cacheSize := flag.Int("cache", 256, "result cache capacity in entries (<0 disables)")
+	workers := flag.Int("workers", -1, "default per-query worker pool (<0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", 0, "max concurrently evaluated queries (0 = 2×GOMAXPROCS, <0 unbounded)")
+	flag.Parse()
+
+	if (*snapshot == "") == (*dbPath == "") {
+		fmt.Fprintln(os.Stderr, "pgserve: give exactly one of -snapshot or -db")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var db *core.Database
+	switch {
+	case *snapshot != "":
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err = probgraph.LoadDatabase(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s: %d graphs, %d PMI features in %v (no mining)",
+			*snapshot, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
+	default:
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := probgraph.LoadDataset(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err = probgraph.NewDatabase(raw.Graphs, probgraph.DefaultBuildOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("indexed %s: %d graphs, %d PMI features in %v",
+			*dbPath, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(db, server.Options{
+		CacheSize: *cacheSize, Workers: *workers, MaxInflight: *inflight,
+	})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Handlers never hold database locks across response writes, so a
+		// slow client costs a connection, not the service; these bound
+		// that cost (header slow-loris, dead keep-alives, stuck writes).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s (cache=%d workers=%d)", *addr, *cacheSize, *workers)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+func pmiFeatures(db *core.Database) int {
+	if db.PMI == nil {
+		return 0
+	}
+	return db.PMI.NumFeatures()
+}

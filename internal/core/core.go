@@ -107,21 +107,27 @@ func (db *Database) Len() int { return len(db.Graphs) }
 // the graph's column to the PMI. The mined feature vocabulary is kept
 // (standard incremental-index trade-off; rebuild with NewDatabase when the
 // data distribution drifts). The new graph's index is returned.
+//
+// AddGraph is atomic: the fallible steps (engine construction, PMI column
+// computation) run before any database state is touched, so a failed call
+// leaves the database exactly as it was.
 func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
 	eng, err := prob.NewEngine(pg)
 	if err != nil {
 		return 0, fmt.Errorf("core: adding graph: %w", err)
 	}
-	gi := len(db.Graphs)
-	db.Graphs = append(db.Graphs, pg)
-	db.Engines = append(db.Engines, eng)
-	db.Certain = append(db.Certain, pg.G)
-	db.Struct.AddGraph(pg.G)
 	if db.PMI != nil {
 		if err := db.PMI.AddGraph(pg, eng); err != nil {
 			return 0, err
 		}
 		db.Build.IndexSizeBytes = db.PMI.SizeBytes()
+	}
+	gi := len(db.Graphs)
+	db.Graphs = append(db.Graphs, pg)
+	db.Engines = append(db.Engines, eng)
+	db.Certain = append(db.Certain, pg.G)
+	if db.Struct != nil {
+		db.Struct.AddGraph(pg.G)
 	}
 	return gi, nil
 }

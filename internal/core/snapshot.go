@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probgraph/internal/dataset"
+	"probgraph/internal/feature"
+	"probgraph/internal/graph"
+	"probgraph/internal/pmi"
+	"probgraph/internal/prob"
+	"probgraph/internal/simsearch"
+)
+
+// The snapshot is the full indexed database in one versioned file, so a
+// process can start answering queries without re-mining features or
+// rebuilding the PMI. It composes the existing line-oriented codecs:
+//
+//	pgsnap v1
+//	options <one-line JSON of BuildOptions>
+//	graphs <n>
+//	  ... n dataset pgraph blocks (certain graph + JPTs) ...
+//	features <nf>
+//	  feat <i> <supportLen> <support ints...>
+//	  ... graph codec block ...
+//	struct <0|1>
+//	  ... simsearch section when present ...
+//	pmi <0|1>
+//	  ... pmi.Save section when present ...
+//	endpgsnap
+//
+// Every numeric payload round-trips bitwise (JPT probabilities via %g
+// shortest-representation, PMI bounds via %.17g), so a query against the
+// reloaded database returns exactly what the original would. Only the
+// per-graph inference engines are rebuilt at load time — junction-tree
+// construction is deterministic and cheap next to feature mining and PMI
+// bound computation.
+
+// SnapshotVersion identifies the snapshot format written by Save.
+const SnapshotVersion = "pgsnap v1"
+
+// Save writes the database — graphs, JPTs, mined features, structural
+// filter, and PMI — as one snapshot. LoadDatabase restores it without any
+// feature mining or bound recomputation.
+func (db *Database) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, SnapshotVersion)
+
+	optJSON, err := json.Marshal(db.opt)
+	if err != nil {
+		return fmt.Errorf("core: snapshot options: %w", err)
+	}
+	fmt.Fprintf(bw, "options %s\n", optJSON)
+
+	fmt.Fprintf(bw, "graphs %d\n", len(db.Graphs))
+	for _, pg := range db.Graphs {
+		if err := dataset.EncodePGraph(bw, pg, 0); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(bw, "features %d\n", len(db.Features))
+	for i, f := range db.Features {
+		fmt.Fprintf(bw, "feat %d %d", i, len(f.Support))
+		for _, gi := range f.Support {
+			fmt.Fprintf(bw, " %d", gi)
+		}
+		fmt.Fprintln(bw)
+		if err := graph.Encode(bw, f.G); err != nil {
+			return err
+		}
+	}
+
+	if db.Struct != nil {
+		fmt.Fprintln(bw, "struct 1")
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := db.Struct.Save(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(bw, "struct 0")
+	}
+
+	if db.PMI != nil {
+		fmt.Fprintln(bw, "pmi 1")
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := db.PMI.Save(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(bw, "pmi 0")
+	}
+
+	fmt.Fprintln(bw, "endpgsnap")
+	return bw.Flush()
+}
+
+// LoadDatabase reads a snapshot written by Save and returns a Database
+// equivalent to the one that wrote it: identical graphs, features,
+// structural counts, and PMI bounds, with freshly built inference engines.
+// No feature mining or bound computation runs — load cost is parsing plus
+// junction-tree construction.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+
+	header, err := snapLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if header != SnapshotVersion {
+		return nil, fmt.Errorf("core: not a snapshot (header %q, want %q)", header, SnapshotVersion)
+	}
+
+	db := &Database{}
+	line, err := snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "options ") {
+		return nil, fmt.Errorf("core: snapshot: want options line, got %q", line)
+	}
+	if err := json.Unmarshal([]byte(line[len("options "):]), &db.opt); err != nil {
+		return nil, fmt.Errorf("core: snapshot options: %w", err)
+	}
+
+	line, err = snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "graphs %d", &n); err != nil {
+		return nil, fmt.Errorf("core: snapshot: bad graphs header %q", line)
+	}
+	dec := dataset.NewPGraphDecoderFromScanner(sc)
+	for gi := 0; gi < n; gi++ {
+		pg, _, err := dec.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot graph %d: %w", gi, err)
+		}
+		db.Graphs = append(db.Graphs, pg)
+		db.Certain = append(db.Certain, pg.G)
+	}
+
+	line, err = snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	var nf int
+	if _, err := fmt.Sscanf(line, "features %d", &nf); err != nil {
+		return nil, fmt.Errorf("core: snapshot: bad features header %q", line)
+	}
+	gdec := graph.NewDecoderFromScanner(sc)
+	for fi := 0; fi < nf; fi++ {
+		line, err = snapLine(sc)
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "feat" {
+			return nil, fmt.Errorf("core: snapshot: bad feat line %q", line)
+		}
+		idx, err1 := strconv.Atoi(fields[1])
+		supLen, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || idx != fi || len(fields) != 3+supLen {
+			return nil, fmt.Errorf("core: snapshot: bad feat line %q for feature %d", line, fi)
+		}
+		support := make([]int, supLen)
+		for k, tok := range fields[3:] {
+			gi, err := strconv.Atoi(tok)
+			if err != nil || gi < 0 || gi >= n {
+				return nil, fmt.Errorf("core: snapshot: bad support %q in %q", tok, line)
+			}
+			support[k] = gi
+		}
+		fg, err := gdec.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot feature %d graph: %w", fi, err)
+		}
+		db.Features = append(db.Features, &feature.Feature{
+			G: fg, Code: graph.CanonicalCode(fg), Support: support,
+		})
+	}
+	db.Build.Features = len(db.Features)
+
+	line, err = snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	var hasStruct int
+	if _, err := fmt.Sscanf(line, "struct %d", &hasStruct); err != nil {
+		return nil, fmt.Errorf("core: snapshot: bad struct header %q", line)
+	}
+	if hasStruct == 1 {
+		ix, err := simsearch.LoadFromScanner(sc, db.Certain)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: %w", err)
+		}
+		db.Struct = ix
+	}
+
+	line, err = snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	var hasPMI int
+	if _, err := fmt.Sscanf(line, "pmi %d", &hasPMI); err != nil {
+		return nil, fmt.Errorf("core: snapshot: bad pmi header %q", line)
+	}
+	if hasPMI == 1 {
+		idx, err := pmi.LoadFromScanner(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: %w", err)
+		}
+		for fi := range idx.Entries {
+			if len(idx.Entries[fi]) != n {
+				return nil, fmt.Errorf("core: snapshot: PMI row %d covers %d graphs, snapshot has %d",
+					fi, len(idx.Entries[fi]), n)
+			}
+		}
+		// pmi.Save does not persist options; restore them from the build
+		// options so incremental AddGraph behaves exactly as before the
+		// round-trip.
+		idx.Opt = db.opt.PMI
+		db.PMI = idx
+		db.Build.IndexSizeBytes = idx.SizeBytes()
+	}
+
+	line, err = snapLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if line != "endpgsnap" {
+		return nil, fmt.Errorf("core: snapshot: want endpgsnap, got %q", line)
+	}
+
+	// Rebuild the inference engines — deterministic junction-tree
+	// construction, parallel across graphs.
+	db.Engines = make([]*prob.Engine, n)
+	engErrs := make([]error, n)
+	forEachIndex(n, normalizeWorkers(-1, n), func(gi int) {
+		db.Engines[gi], engErrs[gi] = prob.NewEngine(db.Graphs[gi])
+	})
+	for gi, err := range engErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot graph %d engine: %w", gi, err)
+		}
+	}
+	return db, nil
+}
+
+// snapLine reads the next non-blank, non-comment line, trimmed.
+func snapLine(sc *bufio.Scanner) (string, error) {
+	return graph.ScanNonEmpty(sc, "core: snapshot")
+}

@@ -20,8 +20,12 @@ import (
 //	p <2^k probabilities>
 //	end
 //
-// Labels use "-" for the empty label. Blank lines and '#' comments are
-// ignored.
+// Names and labels go through graph.EncodeToken: "-" stands for the empty
+// string and whitespace/'#'/'%' are percent-escaped, so labels containing
+// spaces, comment markers, or any unicode round-trip intact. Blank lines
+// and '#' comments are ignored. Probabilities are printed with %g, which
+// emits the shortest representation that parses back to the identical
+// float64 — round-trips are bitwise-exact.
 
 // Save writes the database to w.
 func Save(w io.Writer, db *DB) error {
@@ -31,78 +35,86 @@ func Save(w io.Writer, db *DB) error {
 		if gi < len(db.Organism) {
 			org = db.Organism[gi]
 		}
-		if _, err := fmt.Fprintf(bw, "pgraph %s %d\n", encTok(pg.G.Name()), org); err != nil {
+		if err := EncodePGraph(bw, pg, org); err != nil {
 			return err
 		}
-		for v := 0; v < pg.G.NumVertices(); v++ {
-			fmt.Fprintf(bw, "v %d %s\n", v, encTok(string(pg.G.VertexLabel(graph.VertexID(v)))))
-		}
-		for _, e := range pg.G.Edges() {
-			fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V, encTok(string(e.Label)))
-		}
-		for _, j := range pg.JPTs {
-			fmt.Fprintf(bw, "jpt %d", len(j.Edges))
-			for _, e := range j.Edges {
-				fmt.Fprintf(bw, " %d", e)
-			}
-			fmt.Fprintln(bw)
-			fmt.Fprint(bw, "p")
-			for _, p := range j.P {
-				fmt.Fprintf(bw, " %g", p)
-			}
-			fmt.Fprintln(bw)
-		}
-		fmt.Fprintln(bw, "end")
 	}
 	return bw.Flush()
 }
 
-func encTok(s string) string {
-	if s == "" {
-		return "-"
+// EncodePGraph writes one pgraph block (certain graph + JPT factors) in the
+// database file format. The snapshot codec interleaves these blocks with
+// its own sections.
+func EncodePGraph(w io.Writer, pg *prob.PGraph, organism int) error {
+	if _, err := fmt.Fprintf(w, "pgraph %s %d\n", encTok(pg.G.Name()), organism); err != nil {
+		return err
 	}
-	return s
+	for v := 0; v < pg.G.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "v %d %s\n", v, encTok(string(pg.G.VertexLabel(graph.VertexID(v))))); err != nil {
+			return err
+		}
+	}
+	for _, e := range pg.G.Edges() {
+		if _, err := fmt.Fprintf(w, "e %d %d %s\n", e.U, e.V, encTok(string(e.Label))); err != nil {
+			return err
+		}
+	}
+	for _, j := range pg.JPTs {
+		if _, err := fmt.Fprintf(w, "jpt %d", len(j.Edges)); err != nil {
+			return err
+		}
+		for _, e := range j.Edges {
+			fmt.Fprintf(w, " %d", e)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, "p")
+		for _, p := range j.P {
+			fmt.Fprintf(w, " %g", p)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "end")
+	return err
 }
 
-func decTok(s string) string {
-	if s == "-" {
-		return ""
-	}
-	return s
+func encTok(s string) string { return graph.EncodeToken(s) }
+
+func decTok(s string) string { return graph.DecodeToken(s) }
+
+// PGraphDecoder reads a stream of pgraph blocks. It can share a scanner
+// with other line-oriented readers (the snapshot codec does), consuming
+// exactly the lines of the blocks it decodes.
+type PGraphDecoder struct {
+	sc   *bufio.Scanner
+	line int
 }
 
-// Load reads a database written by Save.
-func Load(r io.Reader) (*DB, error) {
+// NewPGraphDecoder returns a decoder reading from r.
+func NewPGraphDecoder(r io.Reader) *PGraphDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	db := &DB{}
+	return &PGraphDecoder{sc: sc}
+}
+
+// NewPGraphDecoderFromScanner returns a decoder sharing sc with the caller.
+func NewPGraphDecoderFromScanner(sc *bufio.Scanner) *PGraphDecoder {
+	return &PGraphDecoder{sc: sc}
+}
+
+// Decode reads the next pgraph block, returning the graph and its organism
+// tag. It returns io.EOF when the stream is exhausted.
+func (d *PGraphDecoder) Decode() (*prob.PGraph, int, error) {
 	var (
 		b       *graph.Builder
 		jpts    []prob.JPT
 		pending *prob.JPT
 		org     int
-		line    int
 	)
-	flush := func() error {
-		if b == nil {
-			return nil
-		}
-		if pending != nil {
-			return fmt.Errorf("dataset: line %d: jpt without probability row", line)
-		}
-		g := b.Build()
-		pg, err := prob.New(g, jpts)
-		if err != nil {
-			return fmt.Errorf("dataset: line %d: %w", line, err)
-		}
-		db.Graphs = append(db.Graphs, pg)
-		db.Organism = append(db.Organism, org)
-		b, jpts, pending = nil, nil, nil
-		return nil
-	}
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
@@ -110,69 +122,69 @@ func Load(r io.Reader) (*DB, error) {
 		switch f[0] {
 		case "pgraph":
 			if b != nil {
-				return nil, fmt.Errorf("dataset: line %d: nested pgraph", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: nested pgraph", d.line)
 			}
 			if len(f) < 2 {
-				return nil, fmt.Errorf("dataset: line %d: want 'pgraph <name> [organism]'", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: want 'pgraph <name> [organism]'", d.line)
 			}
 			b = graph.NewBuilder(decTok(f[1]))
 			org = 0
 			if len(f) >= 3 {
 				v, err := strconv.Atoi(f[2])
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d: bad organism %q", line, f[2])
+					return nil, 0, fmt.Errorf("dataset: line %d: bad organism %q", d.line, f[2])
 				}
 				org = v
 			}
 		case "v":
 			if b == nil || len(f) != 3 {
-				return nil, fmt.Errorf("dataset: line %d: bad vertex line", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: bad vertex line", d.line)
 			}
 			b.AddVertex(graph.Label(decTok(f[2])))
 		case "e":
 			if b == nil || len(f) != 4 {
-				return nil, fmt.Errorf("dataset: line %d: bad edge line", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: bad edge line", d.line)
 			}
 			u, err1 := strconv.Atoi(f[1])
 			v, err2 := strconv.Atoi(f[2])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad endpoints", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: bad endpoints", d.line)
 			}
 			if _, err := b.AddEdge(graph.VertexID(u), graph.VertexID(v), graph.Label(decTok(f[3]))); err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+				return nil, 0, fmt.Errorf("dataset: line %d: %v", d.line, err)
 			}
 		case "jpt":
 			if b == nil || len(f) < 3 {
-				return nil, fmt.Errorf("dataset: line %d: bad jpt line", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: bad jpt line", d.line)
 			}
 			if pending != nil {
-				return nil, fmt.Errorf("dataset: line %d: jpt before previous probability row", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: jpt before previous probability row", d.line)
 			}
 			k, err := strconv.Atoi(f[1])
 			if err != nil || len(f) != 2+k {
-				return nil, fmt.Errorf("dataset: line %d: jpt arity mismatch", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: jpt arity mismatch", d.line)
 			}
 			j := prob.JPT{}
 			for _, tok := range f[2:] {
 				e, err := strconv.Atoi(tok)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d: bad edge id %q", line, tok)
+					return nil, 0, fmt.Errorf("dataset: line %d: bad edge id %q", d.line, tok)
 				}
 				j.Edges = append(j.Edges, graph.EdgeID(e))
 			}
 			pending = &j
 		case "p":
 			if pending == nil {
-				return nil, fmt.Errorf("dataset: line %d: probability row without jpt", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: probability row without jpt", d.line)
 			}
 			want := 1 << len(pending.Edges)
 			if len(f)-1 != want {
-				return nil, fmt.Errorf("dataset: line %d: want %d probabilities, got %d", line, want, len(f)-1)
+				return nil, 0, fmt.Errorf("dataset: line %d: want %d probabilities, got %d", d.line, want, len(f)-1)
 			}
 			for _, tok := range f[1:] {
 				v, err := strconv.ParseFloat(tok, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d: bad probability %q", line, tok)
+					return nil, 0, fmt.Errorf("dataset: line %d: bad probability %q", d.line, tok)
 				}
 				pending.P = append(pending.P, v)
 			}
@@ -180,20 +192,42 @@ func Load(r io.Reader) (*DB, error) {
 			pending = nil
 		case "end":
 			if b == nil {
-				return nil, fmt.Errorf("dataset: line %d: stray end", line)
+				return nil, 0, fmt.Errorf("dataset: line %d: stray end", d.line)
 			}
-			if err := flush(); err != nil {
-				return nil, err
+			if pending != nil {
+				return nil, 0, fmt.Errorf("dataset: line %d: jpt without probability row", d.line)
 			}
+			pg, err := prob.New(b.Build(), jpts)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dataset: line %d: %w", d.line, err)
+			}
+			return pg, org, nil
 		default:
-			return nil, fmt.Errorf("dataset: line %d: unknown directive %q", line, f[0])
+			return nil, 0, fmt.Errorf("dataset: line %d: unknown directive %q", d.line, f[0])
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if err := d.sc.Err(); err != nil {
+		return nil, 0, err
 	}
 	if b != nil {
-		return nil, fmt.Errorf("dataset: unterminated pgraph block at EOF")
+		return nil, 0, fmt.Errorf("dataset: unterminated pgraph block at EOF")
 	}
-	return db, nil
+	return nil, 0, io.EOF
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	d := NewPGraphDecoder(r)
+	db := &DB{}
+	for {
+		pg, org, err := d.Decode()
+		if err == io.EOF {
+			return db, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.Graphs = append(db.Graphs, pg)
+		db.Organism = append(db.Organism, org)
+	}
 }

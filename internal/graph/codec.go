@@ -15,18 +15,19 @@ import (
 //	e <u> <v> <label>
 //	end
 //
-// Labels are written verbatim and must not contain whitespace or newlines.
+// Names and labels are written through EncodeToken, so arbitrary strings —
+// spaces, '#', '%', unicode — round-trip intact.
 func Encode(w io.Writer, g *Graph) error {
-	if _, err := fmt.Fprintf(w, "g %s\n", encName(g.Name())); err != nil {
+	if _, err := fmt.Fprintf(w, "g %s\n", EncodeToken(g.Name())); err != nil {
 		return err
 	}
 	for v := 0; v < g.NumVertices(); v++ {
-		if _, err := fmt.Fprintf(w, "v %d %s\n", v, encLabel(g.VertexLabel(VertexID(v)))); err != nil {
+		if _, err := fmt.Fprintf(w, "v %d %s\n", v, EncodeToken(string(g.VertexLabel(VertexID(v))))); err != nil {
 			return err
 		}
 	}
 	for _, e := range g.edges {
-		if _, err := fmt.Fprintf(w, "e %d %d %s\n", e.U, e.V, encLabel(e.Label)); err != nil {
+		if _, err := fmt.Fprintf(w, "e %d %d %s\n", e.U, e.V, EncodeToken(string(e.Label))); err != nil {
 			return err
 		}
 	}
@@ -34,25 +35,101 @@ func Encode(w io.Writer, g *Graph) error {
 	return err
 }
 
-func encName(s string) string {
+// tokenUnsafe are the bytes that would break the line-oriented formats:
+// whitespace splits tokens, '#' starts a comment, '%' is the escape
+// introducer itself.
+const tokenUnsafe = " \t\r\n#%"
+
+// EncodeToken renders an arbitrary string as a single whitespace-free token
+// of the line-oriented codecs. The empty string becomes "-", a literal "-"
+// is escaped to stay distinguishable, and unsafe bytes are %XX
+// percent-encoded. Multi-byte UTF-8 sequences contain no unsafe bytes and
+// pass through verbatim.
+func EncodeToken(s string) string {
 	if s == "" {
 		return "-"
 	}
-	return s
-}
-
-func encLabel(l Label) string {
-	if l == "" {
-		return "-"
+	if s == "-" {
+		return "%2D"
 	}
-	return string(l)
+	if !strings.ContainsAny(s, tokenUnsafe) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(tokenUnsafe, c) >= 0 {
+			fmt.Fprintf(&b, "%%%02X", c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
-func decLabel(s string) Label {
+// DecodeToken inverts EncodeToken. Percent sequences that are not two hex
+// digits are kept verbatim, so most pre-escaping files load unchanged.
+// Caveat: a legacy label that happens to contain a literal "%" followed by
+// two hex digits (e.g. "50%AB") is indistinguishable from an escape and is
+// re-interpreted on load; such labels never occur in generated datasets,
+// and re-saving any legacy file through the current codec normalizes it.
+func DecodeToken(s string) string {
 	if s == "-" {
 		return ""
 	}
-	return Label(s)
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, okH := unhex(s[i+1])
+			lo, okL := unhex(s[i+2])
+			if okH && okL {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func decLabel(s string) Label {
+	return Label(DecodeToken(s))
+}
+
+// ScanNonEmpty reads the next non-blank, non-comment line from sc,
+// trimmed. It is the shared line-reading convention of every codec that
+// composes into the snapshot format (dataset, simsearch, pmi, core); a
+// change to comment or blank handling belongs here so the sections cannot
+// drift apart. errPrefix names the calling codec in the EOF error.
+func ScanNonEmpty(sc *bufio.Scanner, errPrefix string) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			return line, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: unexpected EOF", errPrefix)
 }
 
 // Decoder reads a stream of graphs in the Encode format.
@@ -94,11 +171,7 @@ func (d *Decoder) Decode() (*Graph, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("graph codec line %d: want 'g <name>'", d.line)
 			}
-			name := fields[1]
-			if name == "-" {
-				name = ""
-			}
-			b = NewBuilder(name)
+			b = NewBuilder(DecodeToken(fields[1]))
 		case "v":
 			if b == nil {
 				return nil, fmt.Errorf("graph codec line %d: vertex outside graph block", d.line)

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestEncodeDecodeHostileTokens round-trips graphs whose names and labels
+// contain spaces, comment markers, escapes, and unicode through the
+// line-oriented codec.
+func TestEncodeDecodeHostileTokens(t *testing.T) {
+	mk := func(name string, vlabels []string, elabel Label) *Graph {
+		b := NewBuilder(name)
+		for _, l := range vlabels {
+			b.AddVertex(Label(l))
+		}
+		for i := 1; i < len(vlabels); i++ {
+			b.MustAddEdge(VertexID(i-1), VertexID(i), elabel)
+		}
+		return b.Build()
+	}
+	graphs := []*Graph{
+		mk("q one", []string{"a b", "c#d"}, "e f"),
+		mk("", []string{"-", "%", "100%"}, "-"),
+		mk("#x", []string{"héllo", "世界"}, "→"),
+		mk("plain", []string{"A", "B"}, ""),
+	}
+	var buf bytes.Buffer
+	for _, g := range graphs {
+		if err := Encode(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i, want := range graphs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("graph %d: %v\nstream:\n%s", i, err, buf.String())
+		}
+		if got.Name() != want.Name() {
+			t.Errorf("graph %d: name %q != %q", i, got.Name(), want.Name())
+		}
+		if CanonicalCode(got) != CanonicalCode(want) {
+			t.Errorf("graph %d: canonical code changed across round-trip", i)
+		}
+		for v := 0; v < want.NumVertices(); v++ {
+			if got.VertexLabel(VertexID(v)) != want.VertexLabel(VertexID(v)) {
+				t.Errorf("graph %d vertex %d: %q != %q", i, v,
+					got.VertexLabel(VertexID(v)), want.VertexLabel(VertexID(v)))
+			}
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want EOF after last graph, got %v", err)
+	}
+}
+
+func TestTokenEscaping(t *testing.T) {
+	cases := map[string]string{
+		"":      "-",
+		"-":     "%2D",
+		"a b":   "a%20b",
+		"#":     "%23",
+		"%":     "%25",
+		"plain": "plain",
+	}
+	for in, want := range cases {
+		if got := EncodeToken(in); got != want {
+			t.Errorf("EncodeToken(%q) = %q, want %q", in, got, want)
+		}
+		if back := DecodeToken(EncodeToken(in)); back != in {
+			t.Errorf("DecodeToken(EncodeToken(%q)) = %q", in, back)
+		}
+	}
+	// Unicode passes through unescaped.
+	if EncodeToken("héllo") != "héllo" {
+		t.Errorf("unicode should pass through, got %q", EncodeToken("héllo"))
+	}
+	// Malformed escapes decode verbatim (legacy files).
+	if DecodeToken("%zz") != "%zz" || DecodeToken("50%") != "50%" {
+		t.Error("malformed escapes must decode verbatim")
+	}
+}

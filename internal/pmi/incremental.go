@@ -13,6 +13,9 @@ import (
 // the standard trade-off for incremental maintenance of feature-based graph
 // indexes (pruning power for the new graph is bounded by the existing
 // features; rebuild periodically if the data distribution drifts).
+//
+// The column is computed in full before any row is extended, so a failed
+// AddGraph leaves the index exactly as it was — no ragged rows.
 func (idx *Index) AddGraph(pg *prob.PGraph, eng *prob.Engine) error {
 	opt := idx.Opt.withDefaults()
 	gi := 0
@@ -23,16 +26,19 @@ func (idx *Index) AddGraph(pg *prob.PGraph, eng *prob.Engine) error {
 		opt: opt, pg: pg, eng: eng,
 		rng: rand.New(rand.NewSource(opt.Seed ^ int64(gi)*0x9e3779b97f4a7c)),
 	}
+	column := make([]Entry, len(idx.Features))
 	for fi, fg := range idx.Features {
-		var entry Entry
-		if iso.Exists(fg, pg.G, nil) {
-			var err error
-			entry, err = b.bounds(fg)
-			if err != nil {
-				return fmt.Errorf("pmi: feature %d on new graph: %w", fi, err)
-			}
+		if !iso.Exists(fg, pg.G, nil) {
+			continue
 		}
-		idx.Entries[fi] = append(idx.Entries[fi], entry)
+		entry, err := b.bounds(fg)
+		if err != nil {
+			return fmt.Errorf("pmi: feature %d on new graph: %w", fi, err)
+		}
+		column[fi] = entry
+	}
+	for fi := range idx.Entries {
+		idx.Entries[fi] = append(idx.Entries[fi], column[fi])
 	}
 	return nil
 }

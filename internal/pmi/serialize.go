@@ -58,6 +58,13 @@ func (idx *Index) Save(w io.Writer) error {
 func Load(r io.Reader) (*Index, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return LoadFromScanner(sc)
+}
+
+// LoadFromScanner reads an index from a scanner shared with the caller,
+// consuming exactly the index's lines — the snapshot codec embeds the Save
+// format as one section of a larger file.
+func LoadFromScanner(sc *bufio.Scanner) (*Index, error) {
 	header, err := readNonEmpty(sc)
 	if err != nil {
 		return nil, fmt.Errorf("pmi: reading header: %w", err)
@@ -123,14 +130,5 @@ func Load(r io.Reader) (*Index, error) {
 
 // readNonEmpty reads the next non-blank, non-comment line, trimmed.
 func readNonEmpty(sc *bufio.Scanner) (string, error) {
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line != "" && !strings.HasPrefix(line, "#") {
-			return line, nil
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return "", err
-	}
-	return "", fmt.Errorf("pmi: unexpected EOF")
+	return graph.ScanNonEmpty(sc, "pmi")
 }

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a thread-safe fixed-capacity LRU map from result-cache keys
+// to cached query outcomes. The query pipeline is deterministic for a fixed
+// (query, options) pair, so a hit can be served verbatim: the cached value
+// is exactly what re-running the query would produce.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+// newLRUCache returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every lookup misses, every store is dropped).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek reports whether key is cached without promoting the entry or
+// touching the hit/miss counters — for speculative probes (the /batch
+// all-members-cached check) that may not result in serving the entry.
+func (c *lruCache) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put stores value under key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) Put(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, value: value})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Purge empties the cache (database mutation invalidates every result) but
+// keeps the hit/miss counters.
+func (c *lruCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns (hits, misses).
+func (c *lruCache) Counters() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,585 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize caps the LRU result cache (entries). 0 selects the default
+	// (256); negative disables caching.
+	CacheSize int
+	// Workers is the default QueryOptions.Concurrency for requests that do
+	// not set workers themselves. 0 selects GOMAXPROCS (-1).
+	Workers int
+	// MaxInflight bounds concurrently evaluated queries; further requests
+	// wait. 0 selects 2×GOMAXPROCS; negative means unbounded.
+	MaxInflight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.Workers == 0 {
+		o.Workers = -1
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server answers T-PS queries over one resident Database. Queries take the
+// read lock and run concurrently; /graphs ingestion takes the write lock
+// and purges the result cache. All randomness stays seeded per request, so
+// a response is bitwise-identical to the corresponding library call.
+type Server struct {
+	mu    sync.RWMutex
+	db    *core.Database
+	opt   Options
+	cache *lruCache
+	sem   chan struct{}
+
+	start    time.Time
+	queries  atomic.Int64
+	inflight atomic.Int64
+	mux      *http.ServeMux
+}
+
+// New wraps an indexed database in a Server.
+func New(db *core.Database, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		db:    db,
+		opt:   opt,
+		cache: newLRUCache(opt.CacheSize),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	if opt.MaxInflight > 0 {
+		s.sem = make(chan struct{}, opt.MaxInflight)
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueryRequest is the /query (and, with K, /topk) payload. The query graph
+// comes either as structured JSON (graph) or in the text codec
+// (graph_text). Epsilon defaults to 0.5, verifier to "smp"; seed drives
+// every randomized step deterministically.
+type QueryRequest struct {
+	Graph     *GraphJSON `json:"graph,omitempty"`
+	GraphText string     `json:"graph_text,omitempty"`
+	Epsilon   float64    `json:"epsilon,omitempty"`
+	Delta     int        `json:"delta"`
+	Verifier  string     `json:"verifier,omitempty"`
+	Plain     bool       `json:"plain,omitempty"` // plain SSPBound instead of OPT-SSPBound
+	Seed      int64      `json:"seed,omitempty"`
+	Workers   int        `json:"workers,omitempty"`
+	K         int        `json:"k,omitempty"`        // /topk only
+	NoCache   bool       `json:"no_cache,omitempty"` // bypass the result cache
+}
+
+// StatsJSON reports the pipeline counters of one query (times in
+// milliseconds).
+type StatsJSON struct {
+	StructFilterCandidates int     `json:"struct_filter_candidates"`
+	StructConfirmed        int     `json:"struct_confirmed"`
+	PrunedByUpper          int     `json:"pruned_by_upper"`
+	AcceptedByLower        int     `json:"accepted_by_lower"`
+	VerifyCandidates       int     `json:"verify_candidates"`
+	RelaxedQueries         int     `json:"relaxed_queries"`
+	TimeStructMS           float64 `json:"time_struct_ms"`
+	TimeProbMS             float64 `json:"time_prob_ms"`
+	TimeVerifyMS           float64 `json:"time_verify_ms"`
+	TimeTotalMS            float64 `json:"time_total_ms"`
+}
+
+func statsJSON(st core.Stats) StatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return StatsJSON{
+		StructFilterCandidates: st.StructFilterCandidates,
+		StructConfirmed:        st.StructConfirmed,
+		PrunedByUpper:          st.PrunedByUpper,
+		AcceptedByLower:        st.AcceptedByLower,
+		VerifyCandidates:       st.VerifyCandidates,
+		RelaxedQueries:         st.RelaxedQueries,
+		TimeStructMS:           ms(st.TimeStruct),
+		TimeProbMS:             ms(st.TimeProb),
+		TimeVerifyMS:           ms(st.TimeVerify),
+		TimeTotalMS:            ms(st.TimeTotal),
+	}
+}
+
+// QueryResponse is the /query reply. Answers lists matching graph indices
+// ascending; SSP maps verified indices to their estimated subgraph
+// similarity probability (-1 for direct accepts, exactly as the library
+// reports them). Cached marks responses served from the result cache.
+type QueryResponse struct {
+	Answers []int           `json:"answers"`
+	Names   []string        `json:"names"`
+	SSP     map[int]float64 `json:"ssp"`
+	Stats   StatsJSON       `json:"stats"`
+	Cached  bool            `json:"cached"`
+	TimeMS  float64         `json:"time_ms"`
+}
+
+// TopKItemJSON is one /topk ranking entry.
+type TopKItemJSON struct {
+	Graph int     `json:"graph"`
+	Name  string  `json:"name"`
+	SSP   float64 `json:"ssp"`
+}
+
+// TopKResponse is the /topk reply.
+type TopKResponse struct {
+	Items  []TopKItemJSON `json:"items"`
+	Cached bool           `json:"cached"`
+	TimeMS float64        `json:"time_ms"`
+}
+
+// BatchRequest is the /batch payload: many queries sharing one option set.
+// Query i runs with seed BatchSeed(seed, i), exactly like
+// Database.QueryBatch — batching never changes an individual answer.
+type BatchRequest struct {
+	Queries    []GraphJSON `json:"queries,omitempty"`
+	QueryTexts []string    `json:"query_texts,omitempty"`
+	Epsilon    float64     `json:"epsilon,omitempty"`
+	Delta      int         `json:"delta"`
+	Verifier   string      `json:"verifier,omitempty"`
+	Plain      bool        `json:"plain,omitempty"`
+	Seed       int64       `json:"seed,omitempty"`
+	Workers    int         `json:"workers,omitempty"`
+	NoCache    bool        `json:"no_cache,omitempty"`
+}
+
+// BatchResponse is the /batch reply, results in input order.
+type BatchResponse struct {
+	Results []*QueryResponse `json:"results"`
+	TimeMS  float64          `json:"time_ms"`
+}
+
+// AddGraphRequest is the /graphs ingestion payload: one probabilistic
+// graph as structured JSON (graph, with jpts) or a dataset pgraph text
+// block (graph_text).
+type AddGraphRequest struct {
+	Graph     *GraphJSON `json:"graph,omitempty"`
+	GraphText string     `json:"graph_text,omitempty"`
+}
+
+// AddGraphResponse reports the new graph's database index.
+type AddGraphResponse struct {
+	Index  int `json:"index"`
+	Graphs int `json:"graphs"`
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	Graphs       int     `json:"graphs"`
+	PMIFeatures  int     `json:"pmi_features"`
+	IndexBytes   int     `json:"index_bytes"`
+	UptimeMS     float64 `json:"uptime_ms"`
+	Queries      int64   `json:"queries"`
+	Inflight     int64   `json:"inflight"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheCap     int     `json:"cache_cap"`
+	Workers      int     `json:"workers"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func verifierKind(name string) (core.VerifierKind, error) {
+	switch name {
+	case "", "smp":
+		return core.VerifierSMP, nil
+	case "exact":
+		return core.VerifierExact, nil
+	case "none":
+		return core.VerifierNone, nil
+	default:
+		return 0, fmt.Errorf("unknown verifier %q (want smp, exact, or none)", name)
+	}
+}
+
+// queryOptions translates request knobs to engine options. Workers is the
+// only server-side default injected; everything result-affecting comes
+// from the request.
+func (s *Server) queryOptions(epsilon float64, delta int, verifier string, plain bool, seed int64, workers int) (core.QueryOptions, error) {
+	vk, err := verifierKind(verifier)
+	if err != nil {
+		return core.QueryOptions{}, err
+	}
+	if workers == 0 {
+		workers = s.opt.Workers
+	}
+	return core.QueryOptions{
+		Epsilon:     epsilon,
+		Delta:       delta,
+		OptBounds:   !plain,
+		Verifier:    vk,
+		Seed:        seed,
+		Concurrency: workers,
+	}, nil
+}
+
+// cacheKey identifies one deterministic query outcome: the query's
+// canonical code plus every result-affecting option. Workers is excluded —
+// the engine guarantees identical results at any concurrency — so requests
+// differing only in pool size share an entry. Isomorphic query
+// presentations share an entry too (the canonical code is a complete
+// isomorphism invariant); the cached result is the one computed for the
+// first-seen presentation.
+func cacheKey(kind string, code string, opt core.QueryOptions, k int) string {
+	return kind + "\x00" + code + "\x00" +
+		strconv.FormatFloat(opt.Epsilon, 'x', -1, 64) + "\x00" +
+		strconv.Itoa(opt.Delta) + "\x00" +
+		strconv.Itoa(int(opt.Verifier)) + "\x00" +
+		strconv.FormatBool(opt.OptBounds) + "\x00" +
+		strconv.FormatInt(opt.Seed, 10) + "\x00" +
+		strconv.Itoa(k)
+}
+
+// acquire blocks until an inflight evaluation slot is free.
+func (s *Server) acquire() func() {
+	s.inflight.Add(1)
+	if s.sem == nil {
+		return func() { s.inflight.Add(-1) }
+	}
+	s.sem <- struct{}{}
+	return func() {
+		<-s.sem
+		s.inflight.Add(-1)
+	}
+}
+
+func (s *Server) names(answers []int) []string {
+	names := make([]string, len(answers))
+	for i, gi := range answers {
+		names[i] = s.db.Graphs[gi].G.Name()
+	}
+	return names
+}
+
+func (s *Server) queryResponse(res *core.Result, cached bool, elapsed time.Duration) *QueryResponse {
+	answers := res.Answers
+	if answers == nil {
+		answers = []int{}
+	}
+	return &QueryResponse{
+		Answers: answers,
+		Names:   s.names(res.Answers),
+		SSP:     res.SSP,
+		Stats:   statsJSON(res.Stats),
+		Cached:  cached,
+		TimeMS:  float64(elapsed.Microseconds()) / 1000,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := parseGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	key := cacheKey("query", graph.CanonicalCode(q), opt, 0)
+
+	// The read lock covers evaluation and response construction only —
+	// never the response write, so a slow client cannot hold the lock and
+	// starve /graphs (whose pending write lock would in turn block every
+	// other request, /healthz included).
+	s.mu.RLock()
+	s.queries.Add(1)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			resp := s.queryResponse(v.(*core.Result), true, time.Since(start))
+			s.mu.RUnlock()
+			writeJSON(w, resp)
+			return
+		}
+	}
+	release := s.acquire()
+	res, err := s.db.Query(q, opt)
+	release()
+	if err != nil {
+		s.mu.RUnlock()
+		httpError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	if !req.NoCache {
+		s.cache.Put(key, res)
+	}
+	resp := s.queryResponse(res, false, time.Since(start))
+	s.mu.RUnlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	q, err := parseGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	key := cacheKey("topk", graph.CanonicalCode(q), opt, req.K)
+
+	// build assembles the response under the read lock (names need the
+	// database); the write happens after release.
+	build := func(items []core.TopKItem, cached bool) TopKResponse {
+		out := TopKResponse{Items: []TopKItemJSON{}, Cached: cached,
+			TimeMS: float64(time.Since(start).Microseconds()) / 1000}
+		for _, it := range items {
+			out.Items = append(out.Items, TopKItemJSON{
+				Graph: it.Graph, Name: s.db.Graphs[it.Graph].G.Name(), SSP: it.SSP,
+			})
+		}
+		return out
+	}
+	s.mu.RLock()
+	s.queries.Add(1)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			out := build(v.([]core.TopKItem), true)
+			s.mu.RUnlock()
+			writeJSON(w, out)
+			return
+		}
+	}
+	release := s.acquire()
+	items, err := s.db.QueryTopK(q, req.K, opt)
+	release()
+	if err != nil {
+		s.mu.RUnlock()
+		httpError(w, http.StatusUnprocessableEntity, "topk failed: %v", err)
+		return
+	}
+	if !req.NoCache {
+		s.cache.Put(key, items)
+	}
+	out := build(items, false)
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) > 0 && len(req.QueryTexts) > 0 {
+		httpError(w, http.StatusBadRequest, "give either queries or query_texts, not both")
+		return
+	}
+	var qs []*graph.Graph
+	for i := range req.Queries {
+		q, err := GraphFromJSON(&req.Queries[i])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		qs = append(qs, q)
+	}
+	for i, text := range req.QueryTexts {
+		q, err := parseGraphPayload(nil, text)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+
+	// Batch member i is definitionally Query with seed BatchSeed(seed, i),
+	// so each member has its own cache slot — a subsequent /query with that
+	// derived seed hits the same entry. The batch is served from cache only
+	// when every member hits; one miss re-runs the whole batch (QueryBatch
+	// derives seeds by position, so partial evaluation would change seeds).
+	keys := make([]string, len(qs))
+	for i, q := range qs {
+		mo := opt
+		mo.Seed = core.BatchSeed(opt.Seed, i)
+		keys[i] = cacheKey("query", graph.CanonicalCode(q), mo, 0)
+	}
+
+	s.mu.RLock()
+	s.queries.Add(int64(len(qs)))
+	if !req.NoCache {
+		// Probe with Peek first: a probe that ends in a miss must not
+		// inflate the hit counter or LRU-promote entries the batch then
+		// recomputes anyway. Only an all-present batch commits to Gets.
+		allHit := true
+		for _, key := range keys {
+			if !s.cache.Peek(key) {
+				allHit = false
+				break
+			}
+		}
+		if allHit {
+			cached := make([]*core.Result, len(qs))
+			for i, key := range keys {
+				v, ok := s.cache.Get(key)
+				if !ok { // evicted between Peek and Get: fall through to a full run
+					allHit = false
+					break
+				}
+				cached[i] = v.(*core.Result)
+			}
+			if allHit {
+				out := BatchResponse{TimeMS: float64(time.Since(start).Microseconds()) / 1000}
+				for _, res := range cached {
+					out.Results = append(out.Results, s.queryResponse(res, true, 0))
+				}
+				s.mu.RUnlock()
+				writeJSON(w, out)
+				return
+			}
+		}
+	}
+	release := s.acquire()
+	results, err := s.db.QueryBatch(qs, opt)
+	release()
+	if err != nil {
+		s.mu.RUnlock()
+		httpError(w, http.StatusUnprocessableEntity, "batch failed: %v", err)
+		return
+	}
+	out := BatchResponse{TimeMS: float64(time.Since(start).Microseconds()) / 1000}
+	for i, res := range results {
+		if !req.NoCache {
+			s.cache.Put(keys[i], res)
+		}
+		out.Results = append(out.Results, s.queryResponse(res, false, 0))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	var req AddGraphRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	pg, err := parsePGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	gi, err := s.db.AddGraph(pg)
+	if err != nil {
+		// core.AddGraph is atomic — a failure leaves the database (and
+		// therefore every cached result) exactly as it was.
+		s.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity, "adding graph: %v", err)
+		return
+	}
+	// Every cached result describes the pre-insertion database.
+	s.cache.Purge()
+	resp := AddGraphResponse{Index: gi, Graphs: s.db.Len()}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	hits, misses := s.cache.Counters()
+	resp := StatsResponse{
+		Graphs:       s.db.Len(),
+		IndexBytes:   s.db.Build.IndexSizeBytes,
+		UptimeMS:     float64(time.Since(s.start).Microseconds()) / 1000,
+		Queries:      s.queries.Load(),
+		Inflight:     s.inflight.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: s.cache.Len(),
+		CacheCap:     s.opt.CacheSize,
+		Workers:      s.opt.Workers,
+	}
+	if s.db.PMI != nil {
+		resp.PMIFeatures = s.db.PMI.NumFeatures()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := s.db.Len()
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "graphs": n})
+}

@@ -17,7 +17,12 @@
 package simsearch
 
 import (
+	"bufio"
+	"fmt"
+	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/iso"
@@ -111,6 +116,110 @@ func (ix *Index) AddGraph(g *graph.Graph) {
 	}
 	ix.counts = append(ix.counts, row)
 	ix.dbc = append(ix.dbc, g)
+}
+
+// Save writes the counting features and the per-graph count matrix:
+//
+//	simsearch v1 <numFeatures> <numGraphs>
+//	  ... numFeatures graph codec blocks ...
+//	counts
+//	<numGraphs rows of numFeatures ints>
+//	endsimsearch
+//
+// The certain graphs themselves are not written; Load re-pairs the counts
+// with the database the caller persists separately.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "simsearch v1 %d %d\n", len(ix.Features), len(ix.dbc)); err != nil {
+		return err
+	}
+	for _, f := range ix.Features {
+		if err := graph.Encode(bw, f); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, "counts")
+	for _, row := range ix.counts {
+		for fi, c := range row {
+			if fi > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(c))
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "endsimsearch")
+	return bw.Flush()
+}
+
+// LoadFromScanner reads an index written by Save from a shared scanner and
+// re-binds it to dbc, which must be the same certain graphs (in the same
+// order) the index was built from.
+func LoadFromScanner(sc *bufio.Scanner, dbc []*graph.Graph) (*Index, error) {
+	header, err := scanNonEmpty(sc)
+	if err != nil {
+		return nil, fmt.Errorf("simsearch: reading header: %w", err)
+	}
+	var nf, ng int
+	if _, err := fmt.Sscanf(header, "simsearch v1 %d %d", &nf, &ng); err != nil {
+		return nil, fmt.Errorf("simsearch: bad header %q", header)
+	}
+	if ng != len(dbc) {
+		return nil, fmt.Errorf("simsearch: index covers %d graphs, database has %d", ng, len(dbc))
+	}
+	ix := &Index{dbc: dbc}
+	dec := graph.NewDecoderFromScanner(sc)
+	for fi := 0; fi < nf; fi++ {
+		f, err := dec.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("simsearch: feature %d: %w", fi, err)
+		}
+		ix.Features = append(ix.Features, f)
+	}
+	line, err := scanNonEmpty(sc)
+	if err != nil {
+		return nil, err
+	}
+	if line != "counts" {
+		return nil, fmt.Errorf("simsearch: want 'counts', got %q", line)
+	}
+	for gi := 0; gi < ng; gi++ {
+		if nf == 0 {
+			// A zero-feature row serializes as a blank line, which the
+			// scanner skips; materialize the empty rows directly.
+			ix.counts = append(ix.counts, []int{})
+			continue
+		}
+		line, err = scanNonEmpty(sc)
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != nf {
+			return nil, fmt.Errorf("simsearch: graph %d: %d counts, want %d", gi, len(fields), nf)
+		}
+		row := make([]int, nf)
+		for fi, tok := range fields {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("simsearch: graph %d: bad count %q", gi, tok)
+			}
+			row[fi] = v
+		}
+		ix.counts = append(ix.counts, row)
+	}
+	line, err = scanNonEmpty(sc)
+	if err != nil {
+		return nil, err
+	}
+	if line != "endsimsearch" {
+		return nil, fmt.Errorf("simsearch: want 'endsimsearch', got %q", line)
+	}
+	return ix, nil
+}
+
+func scanNonEmpty(sc *bufio.Scanner) (string, error) {
+	return graph.ScanNonEmpty(sc, "simsearch")
 }
 
 // Candidates returns the indices of graphs passing the feature-miss filter

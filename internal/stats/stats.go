@@ -40,6 +40,10 @@ func (t *Table) AddRow(cells ...interface{}) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns the rendered data rows (cells as strings, in AddRow order)
+// for machine-readable export; callers must not mutate the result.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // Render writes the table to w.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.Headers))

@@ -225,3 +225,32 @@ func SaveDataset(w io.Writer, db *Dataset) error { return dataset.Save(w, db) }
 
 // LoadDataset reads a dataset written by SaveDataset.
 func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Load(r) }
+
+// LoadDatabase reads a full-database snapshot written by Database.Save (on
+// the aliased core type): graphs, JPTs, mined features, structural filter,
+// and PMI restore bitwise-identical, only the per-graph inference engines
+// are rebuilt. No feature mining or bound computation runs, which is what
+// lets a serving process (cmd/pgserve) start in parse time and answer
+// queries exactly as the database that wrote the snapshot would.
+func LoadDatabase(r io.Reader) (*Database, error) { return core.LoadDatabase(r) }
+
+// SaveGraph writes one certain graph in the line-oriented text codec (the
+// format of pgsearch -qfile query files). Labels survive spaces, '#', and
+// unicode via token escaping.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.Encode(w, g) }
+
+// LoadGraphs reads all graphs from a stream of SaveGraph blocks.
+func LoadGraphs(r io.Reader) ([]*Graph, error) {
+	dec := graph.NewDecoder(r)
+	var out []*Graph
+	for {
+		g, err := dec.Decode()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+}
