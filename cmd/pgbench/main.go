@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling]
+//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter]
 //	        [-workers N] [-seed N] [-json out.json]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
@@ -12,9 +12,11 @@
 //
 // -workers N runs every query's candidate pipeline on a pool of N
 // goroutines (results are unchanged; only timings move). -fig scaling
-// prints a dedicated parallel-speedup table sweeping the worker count;
-// it is not part of the paper's evaluation, so -fig all (the default)
-// covers the paper figures only and scaling must be requested explicitly.
+// prints a dedicated parallel-speedup table sweeping the worker count,
+// and -fig filter profiles the structural phase — the inverted-postings
+// scan against the dense count-matrix oracle — as the database grows;
+// neither is part of the paper's evaluation, so -fig all (the default)
+// covers the paper figures only and both must be requested explicitly.
 //
 // -json out.json additionally writes every produced table as
 // machine-readable series — figure name, headers, raw rows, per-column
@@ -56,7 +58,7 @@ type figureJSON struct {
 
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
-	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling (extra, never implied by all)")
+	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter (extra, never implied by all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
@@ -134,6 +136,9 @@ func main() {
 	}
 	if strings.EqualFold(*fig, "scaling") {
 		run("scaling", one(func() (*stats.Table, error) { return env.Scaling(nil) }))
+	}
+	if strings.EqualFold(*fig, "filter") {
+		run("filter", one(func() (*stats.Table, error) { return env.Filter(nil) }))
 	}
 
 	if *jsonPath != "" {

@@ -54,6 +54,25 @@ func main() {
 	qfrom := flag.Int("qfrom", 0, "query mode: index of the source graph")
 	flag.Parse()
 
+	// One-line rejections for out-of-range knobs, before any generation
+	// work: probabilities must be valid, sizes positive.
+	if *meanProb <= 0 || *meanProb > 1 {
+		fmt.Fprintf(os.Stderr, "pggen: -meanprob must be in (0,1], got %v\n", *meanProb)
+		os.Exit(2)
+	}
+	if *mutations < 0 || *mutations > 1 {
+		fmt.Fprintf(os.Stderr, "pggen: -mutations must be in [0,1], got %v\n", *mutations)
+		os.Exit(2)
+	}
+	if *n < 1 {
+		fmt.Fprintf(os.Stderr, "pggen: -n must be >= 1, got %d\n", *n)
+		os.Exit(2)
+	}
+	if *qsize < 1 {
+		fmt.Fprintf(os.Stderr, "pggen: -qsize must be >= 1, got %d\n", *qsize)
+		os.Exit(2)
+	}
+
 	if *queryMode {
 		writeQuery(*from, *out, *qsize, *qfrom, *seed, probgraph.DatasetOptions{
 			NumGraphs: *n, Organisms: *organisms,

@@ -66,6 +66,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject out-of-range thresholds up front: a bad ε/δ would otherwise
+	// surface only after the (possibly expensive) index build.
+	if *epsilon <= 0 || *epsilon > 1 {
+		fmt.Fprintf(os.Stderr, "pgsearch: -epsilon must be in (0,1], got %v\n", *epsilon)
+		os.Exit(2)
+	}
+	if *delta < 0 {
+		fmt.Fprintf(os.Stderr, "pgsearch: -delta must be >= 0, got %d\n", *delta)
+		os.Exit(2)
+	}
+	if *qsize < 1 {
+		fmt.Fprintf(os.Stderr, "pgsearch: -qsize must be >= 1, got %d\n", *qsize)
+		os.Exit(2)
+	}
 	say := func(format string, args ...any) {
 		if !*jsonOut {
 			fmt.Printf(format, args...)

@@ -110,7 +110,11 @@ func (db *Database) Len() int { return len(db.Graphs) }
 //
 // AddGraph is atomic: the fallible steps (engine construction, PMI column
 // computation) run before any database state is touched, so a failed call
-// leaves the database exactly as it was.
+// leaves the database exactly as it was — including every Build stat.
+// pmi.Index.AddGraph computes its column in full before extending any row,
+// which makes it the commit point; all bookkeeping (IndexSizeBytes
+// included) is written only after it and the remaining infallible appends
+// succeed, so no field ever describes a database that was never committed.
 func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
 	eng, err := prob.NewEngine(pg)
 	if err != nil {
@@ -120,7 +124,6 @@ func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
 		if err := db.PMI.AddGraph(pg, eng); err != nil {
 			return 0, err
 		}
-		db.Build.IndexSizeBytes = db.PMI.SizeBytes()
 	}
 	gi := len(db.Graphs)
 	db.Graphs = append(db.Graphs, pg)
@@ -128,6 +131,9 @@ func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
 	db.Certain = append(db.Certain, pg.G)
 	if db.Struct != nil {
 		db.Struct.AddGraph(pg.G)
+	}
+	if db.PMI != nil {
+		db.Build.IndexSizeBytes = db.PMI.SizeBytes()
 	}
 	return gi, nil
 }

@@ -62,6 +62,57 @@ func TestAddGraphMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestAddGraphBookkeepingAfterCommit: every Build stat and index structure
+// reflects the post-insertion database once AddGraph returns — the
+// IndexSizeBytes write happens after the commit point, never between the
+// PMI extension and the graph append.
+func TestAddGraphBookkeepingAfterCommit(t *testing.T) {
+	db, _ := smallDatabase(t, 1007, 5, true)
+	extra, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 1, MinVertices: 5, MaxVertices: 6, EdgeFactor: 1.3,
+		Labels: 3, Organisms: 1, Correlated: true, Seed: 4004,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, postingsBefore := db.Struct.PostingsStats()
+	if _, err := db.AddGraph(extra.Graphs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if want := db.PMI.SizeBytes(); db.Build.IndexSizeBytes != want {
+		t.Fatalf("IndexSizeBytes = %d, want PMI.SizeBytes() = %d", db.Build.IndexSizeBytes, want)
+	}
+	if _, after := db.Struct.PostingsStats(); after <= postingsBefore {
+		t.Fatalf("structural postings did not grow: %d -> %d", postingsBefore, after)
+	}
+	if len(db.Graphs) != len(db.Engines) || len(db.Graphs) != len(db.Certain) {
+		t.Fatalf("parallel slices diverged: %d graphs, %d engines, %d certain",
+			len(db.Graphs), len(db.Engines), len(db.Certain))
+	}
+
+	// Without a PMI the stat must stay untouched (no stale PMI size).
+	raw2, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 4, MinVertices: 5, MaxVertices: 7, EdgeFactor: 1.3,
+		Labels: 3, Organisms: 2, Correlated: true, Seed: 1009,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultBuildOptions()
+	opt.SkipPMI = true
+	noPMI, err := NewDatabase(raw2.Graphs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := noPMI.Build.IndexSizeBytes
+	if _, err := noPMI.AddGraph(extra.Graphs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if noPMI.Build.IndexSizeBytes != before {
+		t.Fatalf("IndexSizeBytes changed on a PMI-less database: %d -> %d", before, noPMI.Build.IndexSizeBytes)
+	}
+}
+
 // TestAddGraphBoundsStaySound: PMI entries added incrementally must still
 // sandwich the exact SIP.
 func TestAddGraphBoundsStaySound(t *testing.T) {

@@ -1,62 +1,20 @@
 package core
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/iso"
+	"probgraph/internal/pool"
 )
 
-// normalizeWorkers resolves the Concurrency knob to an actual worker count
-// for n independent work items: 0 (and 1) mean serial, a negative value
-// selects GOMAXPROCS, and the result never exceeds n.
-func normalizeWorkers(concurrency, n int) int {
-	w := concurrency
-	if w < 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w < 1 {
-		w = 1
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
+// normalizeWorkers and forEachIndex are the package-local names of the
+// shared deterministic worker pool (internal/pool), which the structural
+// filter's shard scan also runs on — one Concurrency knob, one pool
+// semantics everywhere.
+func normalizeWorkers(concurrency, n int) int { return pool.Normalize(concurrency, n) }
 
-// forEachIndex runs fn(i) for every i in [0, n) on a bounded pool of
-// `workers` goroutines (serially when workers <= 1). fn must confine its
-// writes to per-index slots; indices are handed out by an atomic counter,
-// so completion order is unspecified.
-func forEachIndex(n, workers int, fn func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+func forEachIndex(n, workers int, fn func(i int)) { pool.ForEachIndex(n, workers, fn) }
 
 // Salts separating the independent per-candidate random streams derived
 // from one QueryOptions.Seed.

@@ -76,6 +76,23 @@ func (o QueryOptions) withDefaults() QueryOptions {
 	return o
 }
 
+// Validate reports whether the result-affecting knobs are in range:
+// ε ∈ (0, 1] (0 is accepted as "unset", defaulting to 0.5) and δ ≥ 0.
+// Query applies the same checks internally (QueryTopK only the δ one — it
+// ignores ε); callers that want to reject bad requests up front — before
+// any work, and distinguishable from evaluation failures (the server maps
+// Validate errors to HTTP 400 on all three endpoints, everything
+// downstream to 422) — call this on the untouched options.
+func (o QueryOptions) Validate() error {
+	if o.Epsilon < 0 || o.Epsilon > 1 {
+		return fmt.Errorf("core: epsilon %v outside (0,1]", o.Epsilon)
+	}
+	if o.Delta < 0 {
+		return fmt.Errorf("core: negative delta %d", o.Delta)
+	}
+	return nil
+}
+
 // Stats instruments a query run with the paper's reported metrics.
 //
 // TimeProb and TimeVerify sum the per-candidate compute spent in each
@@ -150,9 +167,10 @@ func (db *Database) query(q *graph.Graph, opt QueryOptions, cache *relCache) (*R
 		return res, nil
 	}
 
-	// Phase 1: structural pruning (Theorem 1).
+	// Phase 1: structural pruning (Theorem 1). The inverted-postings scan
+	// and the exact confirmations share the query's worker pool.
 	t0 := time.Now()
-	scq, filterCount := db.Struct.SCq(q, opt.Delta)
+	scq, filterCount := db.Struct.SCq(q, opt.Delta, opt.Concurrency)
 	res.Stats.StructFilterCandidates = filterCount
 	res.Stats.StructConfirmed = len(scq)
 	res.Stats.TimeStruct = time.Since(t0)

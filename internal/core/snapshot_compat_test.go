@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"testing"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/simsearch"
+)
+
+const fixtureDir = "../../testdata/snapshots"
+
+// TestLoadV1FixtureSnapshot loads the checked-in snapshot written by the
+// previous binary revision (whose simsearch section is the pre-postings v1
+// format) and asserts it still answers — with the recorded answers, at
+// every worker count, and re-savable in the current format.
+func TestLoadV1FixtureSnapshot(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(fixtureDir, "v1_tiny.pgsnap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("simsearch v1 ")) {
+		t.Fatal("fixture no longer carries a v1 simsearch section; regenerate it from the revision before the postings index")
+	}
+	db, err := LoadDatabase(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("loading v1 fixture: %v", err)
+	}
+	if db.Struct == nil {
+		t.Fatal("fixture loaded without a structural filter")
+	}
+	if got := db.Struct.ShardSize(); got != simsearch.DefaultShardSize {
+		t.Fatalf("v1 section shard size = %d, want default %d", got, simsearch.DefaultShardSize)
+	}
+	if shards, entries := db.Struct.PostingsStats(); shards < 1 || entries < 1 {
+		t.Fatalf("postings not rebuilt from v1 counts: %d shards, %d entries", shards, entries)
+	}
+
+	qf, err := os.Open(filepath.Join(fixtureDir, "v1_tiny_query.pgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := graph.NewDecoder(qf).Decode()
+	qf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded run: pgsearch -epsilon 0.3 -delta 2 -seed 5 on query 0
+	// (per-query seed BatchSeed(5, 0) = 5).
+	var want struct {
+		Answers []int              `json:"answers"`
+		SSP     map[string]float64 `json:"ssp"`
+	}
+	expRaw, err := os.ReadFile(filepath.Join(fixtureDir, "v1_tiny_expected.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(expRaw, &want); err != nil {
+		t.Fatal(err)
+	}
+	opt := QueryOptions{Epsilon: 0.3, Delta: 2, OptBounds: true, Seed: BatchSeed(5, 0)}
+	var base *Result
+	for _, workers := range []int{1, 4} {
+		o := opt
+		o.Concurrency = workers
+		res, err := db.Query(q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(res.Answers, want.Answers) {
+			t.Fatalf("workers=%d: answers %v, recorded %v", workers, res.Answers, want.Answers)
+		}
+		if base == nil {
+			base = res
+			if len(res.SSP) != len(want.SSP) {
+				t.Fatalf("SSP map has %d entries, recorded %d", len(res.SSP), len(want.SSP))
+			}
+			for gi, ssp := range res.SSP {
+				if w := want.SSP[strconv.Itoa(gi)]; w != ssp {
+					t.Fatalf("graph %d: SSP %v, recorded %v", gi, ssp, w)
+				}
+			}
+		} else if len(res.SSP) != len(base.SSP) {
+			t.Fatalf("workers=%d: SSP map size diverged", workers)
+		}
+		for gi, ssp := range res.SSP {
+			if ssp != base.SSP[gi] {
+				t.Fatalf("workers=%d graph %d: SSP %v != serial %v", workers, gi, ssp, base.SSP[gi])
+			}
+		}
+	}
+
+	// Re-saving writes the current format, which must round-trip bitwise.
+	var first bytes.Buffer
+	if err := db.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(first.Bytes(), []byte("simsearch v2 ")) {
+		t.Fatal("re-save did not upgrade the simsearch section to v2")
+	}
+	db2, err := LoadDatabase(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := db2.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("current-format snapshot not byte-stable across a round trip")
+	}
+}

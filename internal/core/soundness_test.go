@@ -45,7 +45,7 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 		}
 		const delta = 1
 		u := relax.Relaxed(q, delta, 0)
-		scq, _ := db.Struct.SCq(q, delta)
+		scq, _ := db.Struct.SCq(q, delta, 1)
 		for _, optBounds := range []bool{false, true} {
 			qo := QueryOptions{Epsilon: 0.5, Delta: delta, OptBounds: optBounds, Seed: seed}
 			pr := db.newPruner(u, qo.withDefaults(), nil)
@@ -102,7 +102,7 @@ func TestStructuralPruningNeverDropsAnswers(t *testing.T) {
 			return true
 		}
 		const delta = 1
-		scq, _ := db.Struct.SCq(q, delta)
+		scq, _ := db.Struct.SCq(q, delta, 1)
 		inSCQ := make(map[int]bool, len(scq))
 		for _, gi := range scq {
 			inSCQ[gi] = true

@@ -47,7 +47,7 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 		}
 		return out, nil
 	}
-	scq, _ := db.Struct.SCq(q, opt.Delta)
+	scq, _ := db.Struct.SCq(q, opt.Delta, opt.Concurrency)
 	if len(scq) == 0 {
 		return nil, nil
 	}

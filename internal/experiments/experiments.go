@@ -20,6 +20,7 @@ import (
 	"probgraph/internal/dataset"
 	"probgraph/internal/graph"
 	"probgraph/internal/relax"
+	"probgraph/internal/simsearch"
 	"probgraph/internal/stats"
 	"probgraph/internal/verify"
 )
@@ -714,6 +715,90 @@ func (e *Env) Scaling(workerCounts []int) (*stats.Table, error) {
 			}
 		}
 		t.AddRow(w, queryMS, baseQueryMS/queryMS, batchMS, baseBatchMS/batchMS)
+	}
+	return t, nil
+}
+
+// Filter profiles the structural phase in isolation as the database grows:
+// the inverted-postings scan (at the configured worker count) against the
+// dense count-matrix oracle it replaced. Not a paper figure — it validates
+// the ROADMAP's indexing direction: dense cost is Θ(|D|·|F|) per query,
+// the postings scan touches only the postings of features the query embeds,
+// so its per-query time grows sublinearly in |D| on selective workloads.
+// Candidate lists are asserted identical between the two paths at every
+// size; the table reports time and index shape only.
+func (e *Env) Filter(workerCounts []int) (*stats.Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1}
+		if e.Cfg.Workers != 1 && e.Cfg.Workers != 0 {
+			workerCounts = append(workerCounts, e.Cfg.Workers)
+		}
+	}
+	headers := []string{"db size", "dense ms/q"}
+	for _, w := range workerCounts {
+		headers = append(headers, fmt.Sprintf("postings(w=%d) ms/q", w))
+	}
+	headers = append(headers, "speedup", "avg candidates", "posting entries")
+	t := stats.NewTable("Structural filter — postings vs dense scan vs database size", headers...)
+
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 13))
+	const queriesPerSize, reps = 6, 5
+	for _, size := range e.P.dbSizes {
+		raw, err := dataset.GeneratePPI(dataset.PPIOptions{
+			NumGraphs: size, MinVertices: e.P.minV, MaxVertices: e.P.maxV,
+			Organisms: e.P.organisms, Correlated: true, Seed: e.Cfg.Seed + int64(size),
+		})
+		if err != nil {
+			return nil, err
+		}
+		certain := make([]*graph.Graph, len(raw.Graphs))
+		for i, pg := range raw.Graphs {
+			certain[i] = pg.G
+		}
+		ix := simsearch.BuildIndex(certain, simsearch.DefaultFeatures(certain, 0))
+		var qs []*graph.Graph
+		for i := 0; i < queriesPerSize; i++ {
+			qs = append(qs, dataset.ExtractQuery(certain[rng.Intn(size)], e.P.defaultQuerySize, rng))
+		}
+
+		var denseMS, candSum float64
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for _, q := range qs {
+				cand := ix.CandidatesDense(q, e.P.defaultDelta)
+				if rep == 0 {
+					candSum += float64(len(cand))
+				}
+			}
+		}
+		denseMS = ms(time.Since(start)) / float64(reps*len(qs))
+
+		row := []any{size, denseMS}
+		first := -1.0
+		for _, w := range workerCounts {
+			start = time.Now()
+			for rep := 0; rep < reps; rep++ {
+				for _, q := range qs {
+					ix.Candidates(q, e.P.defaultDelta, w)
+				}
+			}
+			postMS := ms(time.Since(start)) / float64(reps*len(qs))
+			if first < 0 {
+				first = postMS
+			}
+			row = append(row, postMS)
+		}
+		// Identity check: the postings path must return the dense answer.
+		for _, q := range qs {
+			a := ix.Candidates(q, e.P.defaultDelta, workerCounts[len(workerCounts)-1])
+			b := ix.CandidatesDense(q, e.P.defaultDelta)
+			if !slices.Equal(a, b) {
+				return nil, fmt.Errorf("experiments: postings candidates diverge from dense at size %d", size)
+			}
+		}
+		_, entries := ix.PostingsStats()
+		row = append(row, denseMS/first, candSum/float64(len(qs)), entries)
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -1,0 +1,61 @@
+// Package pool provides the engine's deterministic bounded worker pool.
+// Every parallel phase of the pipeline — candidate evaluation in core,
+// shard scans in the simsearch structural filter — runs on this one
+// primitive, so the QueryOptions.Concurrency knob has a single meaning
+// everywhere: it bounds goroutines, never changes results.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize resolves a Concurrency knob to an actual worker count for n
+// independent work items: 0 (and 1) mean serial, a negative value selects
+// GOMAXPROCS, and the result never exceeds n (floor 1).
+func Normalize(concurrency, n int) int {
+	w := concurrency
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) on a bounded pool of
+// `workers` goroutines (serially when workers <= 1). fn must confine its
+// writes to per-index slots; indices are handed out by an atomic counter,
+// so completion order is unspecified.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

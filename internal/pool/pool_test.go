@@ -1,0 +1,49 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		concurrency, n, want int
+	}{
+		{0, 10, 1},
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{4, 0, 1},
+		{-1, 1 << 30, maxprocs},
+		{-7, 1, 1},
+		{16, 16, 16},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.concurrency, c.n); got != c.want {
+			t.Errorf("Normalize(%d, %d) = %d, want %d", c.concurrency, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachIndexCoversAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEachIndex(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachIndexEmpty(t *testing.T) {
+	called := false
+	ForEachIndex(0, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

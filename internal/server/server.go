@@ -192,19 +192,23 @@ type AddGraphResponse struct {
 	Graphs int `json:"graphs"`
 }
 
-// StatsResponse is the /stats reply.
+// StatsResponse is the /stats reply. StructShards/StructPostings describe
+// the inverted structural index (postings shards and total level-posting
+// entries); both are 0 when the database has no structural filter.
 type StatsResponse struct {
-	Graphs       int     `json:"graphs"`
-	PMIFeatures  int     `json:"pmi_features"`
-	IndexBytes   int     `json:"index_bytes"`
-	UptimeMS     float64 `json:"uptime_ms"`
-	Queries      int64   `json:"queries"`
-	Inflight     int64   `json:"inflight"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheEntries int     `json:"cache_entries"`
-	CacheCap     int     `json:"cache_cap"`
-	Workers      int     `json:"workers"`
+	Graphs         int     `json:"graphs"`
+	PMIFeatures    int     `json:"pmi_features"`
+	StructShards   int     `json:"struct_shards"`
+	StructPostings int     `json:"struct_postings"`
+	IndexBytes     int     `json:"index_bytes"`
+	UptimeMS       float64 `json:"uptime_ms"`
+	Queries        int64   `json:"queries"`
+	Inflight       int64   `json:"inflight"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCap       int     `json:"cache_cap"`
+	Workers        int     `json:"workers"`
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -247,7 +251,9 @@ func verifierKind(name string) (core.VerifierKind, error) {
 
 // queryOptions translates request knobs to engine options. Workers is the
 // only server-side default injected; everything result-affecting comes
-// from the request.
+// from the request. Out-of-range ε/δ are rejected here — the error joins
+// the handlers' bad-request path (HTTP 400), distinguishing malformed
+// requests from evaluation failures (422).
 func (s *Server) queryOptions(epsilon float64, delta int, verifier string, plain bool, seed int64, workers int) (core.QueryOptions, error) {
 	vk, err := verifierKind(verifier)
 	if err != nil {
@@ -256,14 +262,18 @@ func (s *Server) queryOptions(epsilon float64, delta int, verifier string, plain
 	if workers == 0 {
 		workers = s.opt.Workers
 	}
-	return core.QueryOptions{
+	opt := core.QueryOptions{
 		Epsilon:     epsilon,
 		Delta:       delta,
 		OptBounds:   !plain,
 		Verifier:    vk,
 		Seed:        seed,
 		Concurrency: workers,
-	}, nil
+	}
+	if err := opt.Validate(); err != nil {
+		return core.QueryOptions{}, err
+	}
+	return opt, nil
 }
 
 // cacheKey identifies one deterministic query outcome: the query's
@@ -572,6 +582,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.db.PMI != nil {
 		resp.PMIFeatures = s.db.PMI.NumFeatures()
+	}
+	if s.db.Struct != nil {
+		resp.StructShards, resp.StructPostings = s.db.Struct.PostingsStats()
 	}
 	s.mu.RUnlock()
 	writeJSON(w, resp)

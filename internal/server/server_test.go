@@ -387,11 +387,6 @@ func TestHealthzAndErrors(t *testing.T) {
 	if hr.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad verifier: status %d", hr.StatusCode)
 	}
-	// Bad epsilon surfaces as unprocessable.
-	hr = env.post(t, "/query", QueryRequest{GraphText: env.qtexts[0], Epsilon: 2, Delta: 1}, nil)
-	if hr.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("bad epsilon: status %d", hr.StatusCode)
-	}
 	// Malformed body.
 	resp, err := http.Post(env.ts.URL+"/query", "application/json", strings.NewReader("{"))
 	if err != nil {
@@ -400,6 +395,74 @@ func TestHealthzAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+}
+
+// TestBadThresholdsAre400 pins the QueryOptions-validation mapping on every
+// query endpoint: an out-of-range ε or a negative δ is a malformed request
+// (HTTP 400), not an evaluation failure (422), and exact boundary values
+// (ε = 1, δ = 0) are accepted.
+func TestBadThresholdsAre400(t *testing.T) {
+	env := newTestEnv(t, Options{})
+	bad := []struct {
+		name    string
+		epsilon float64
+		delta   int
+	}{
+		{"epsilon above 1", 1.5, 1},
+		{"epsilon negative", -0.1, 1},
+		{"delta negative", 0.5, -1},
+	}
+	for _, c := range bad {
+		reqs := map[string]any{
+			"/query": QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta},
+			"/topk":  QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta, K: 2},
+			"/batch": BatchRequest{QueryTexts: env.qtexts[:1], Epsilon: c.epsilon, Delta: c.delta},
+		}
+		for path, req := range reqs {
+			hr := env.post(t, path, req, nil)
+			if hr.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", path, c.name, hr.StatusCode)
+			}
+		}
+	}
+	// The boundary itself is valid: ε exactly 1, δ exactly 0.
+	var resp QueryResponse
+	hr := env.post(t, "/query", QueryRequest{GraphText: env.qtexts[0], Epsilon: 1, Delta: 0}, &resp)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("epsilon=1 delta=0: status %d, want 200", hr.StatusCode)
+	}
+}
+
+// TestStatsReportStructIndex: /stats exposes the inverted structural
+// index's shape and tracks AddGraph growth.
+func TestStatsReportStructIndex(t *testing.T) {
+	env := newTestEnv(t, Options{})
+	var st StatsResponse
+	env.get(t, "/stats", &st)
+	if st.StructShards < 1 {
+		t.Fatalf("struct_shards = %d, want >= 1", st.StructShards)
+	}
+	if st.StructPostings < 1 {
+		t.Fatalf("struct_postings = %d, want >= 1", st.StructPostings)
+	}
+	before := st.StructPostings
+
+	extra, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 1, MinVertices: 5, MaxVertices: 6, Organisms: 1,
+		Correlated: true, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pgText bytes.Buffer
+	if err := dataset.EncodePGraph(&pgText, extra.Graphs[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	env.post(t, "/graphs", AddGraphRequest{GraphText: pgText.String()}, nil)
+	env.get(t, "/stats", &st)
+	if st.StructPostings <= before {
+		t.Fatalf("struct_postings did not grow after AddGraph: %d -> %d", before, st.StructPostings)
 	}
 }
 

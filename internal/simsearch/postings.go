@@ -1,0 +1,155 @@
+package simsearch
+
+import (
+	"probgraph/internal/graph"
+	"probgraph/internal/pool"
+)
+
+// The inverted structural index replaces the dense |D|×|F| count-matrix
+// scan with per-feature level postings: for feature f and level k,
+// post[f][k-1] lists (ascending) the graphs containing f at least k times.
+// A query then touches only the postings of features it actually embeds —
+// for each such feature f with query count c_q(f), levels 1..c_q(f) — and
+// accumulates per-graph hits. Since
+//
+//	hits(g) = Σ_f min(c_q(f), c_g(f))
+//	misses(g) = Σ_f max(0, c_q(f) − c_g(f)) = Σ_f c_q(f) − hits(g),
+//
+// the Grafil condition misses(g) ≤ T(δ) becomes hits(g) ≥ Σ_f c_q(f) − T(δ):
+// one threshold test per graph, with graphs containing none of the query's
+// features never touched at all (they pass only when the budget already
+// covers every query feature occurrence, which is tested once, not per
+// graph).
+//
+// Postings are split into shards owning contiguous graph-id ranges of
+// shardSize graphs each. Shards scan independently — disjoint hit
+// accumulators, candidates emitted in ascending id order per shard, shard
+// outputs concatenated in range order — so the scan fans out over the
+// deterministic worker pool and returns the identical candidate list at
+// every worker count. AddGraph appends to the last shard (graph ids only
+// grow, so level lists stay sorted) and opens a new shard when it is full.
+
+// DefaultShardSize is the postings shard width used by BuildIndex and by
+// snapshot loads of pre-postings (v1) sections.
+const DefaultShardSize = 256
+
+// shard owns the postings of graphs [lo, lo+n).
+type shard struct {
+	lo int // first graph id owned
+	n  int // graphs currently present
+	// post[f][k-1] lists, ascending, the ids of owned graphs with
+	// count(f) >= k; levels exist only up to the shard's max count of f.
+	post [][][]int32
+}
+
+// newShard returns an empty shard starting at graph id lo with nf features.
+func newShard(lo, nf int) *shard {
+	return &shard{lo: lo, post: make([][][]int32, nf)}
+}
+
+// add appends graph gi (which must be lo+n, ids only grow) with the given
+// per-feature counts, returning the number of posting entries created.
+func (s *shard) add(gi int, row []int) int {
+	entries := 0
+	for fi, c := range row {
+		if c <= 0 {
+			continue
+		}
+		for len(s.post[fi]) < c {
+			s.post[fi] = append(s.post[fi], nil)
+		}
+		for k := 0; k < c; k++ {
+			s.post[fi][k] = append(s.post[fi][k], int32(gi))
+		}
+		entries += c
+	}
+	s.n++
+	return entries
+}
+
+// scan accumulates per-graph hits over the query profile cq and returns
+// the owned graphs with hits >= need, ascending. need must be >= 1.
+func (s *shard) scan(cq []int, need int) []int {
+	hits := make([]int32, s.n)
+	for fi, c := range cq {
+		if c == 0 {
+			continue
+		}
+		levels := s.post[fi]
+		if c > len(levels) {
+			c = len(levels)
+		}
+		for k := 0; k < c; k++ {
+			for _, gid := range levels[k] {
+				hits[int(gid)-s.lo]++
+			}
+		}
+	}
+	var out []int
+	for off, h := range hits {
+		if int(h) >= need {
+			out = append(out, s.lo+off)
+		}
+	}
+	return out
+}
+
+// postingsAdd extends the inverted index with graph gi's counts, opening a
+// new shard when the last one is full (or none exists yet).
+func (ix *Index) postingsAdd(gi int, row []int) {
+	if len(ix.shards) == 0 || ix.shards[len(ix.shards)-1].n >= ix.shardSize {
+		ix.shards = append(ix.shards, newShard(gi, len(ix.Features)))
+	}
+	ix.postEntries += ix.shards[len(ix.shards)-1].add(gi, row)
+}
+
+// rebuildPostings derives the sharded inverted index from the dense count
+// matrix (deterministic: same counts and shard size ⇒ same postings).
+func (ix *Index) rebuildPostings() {
+	ix.shards, ix.postEntries = nil, 0
+	for gi, row := range ix.counts {
+		ix.postingsAdd(gi, row)
+	}
+}
+
+// Candidates returns the indices of graphs passing the feature-miss filter
+// for query q at distance threshold delta, ascending. The postings shards
+// are scanned on a pool of `workers` goroutines (0/1 serial, negative
+// GOMAXPROCS); the result is identical at every worker count and equal to
+// CandidatesDense.
+func (ix *Index) Candidates(q *graph.Graph, delta, workers int) []int {
+	cq, budget := ix.queryProfile(q, delta)
+	total := 0
+	for _, c := range cq {
+		total += c
+	}
+	need := total - budget
+	if need <= 0 {
+		// The budget covers every query feature occurrence, so even a graph
+		// containing none of them passes — all graphs are candidates (this
+		// includes queries embedding no feature at all: total = 0).
+		out := make([]int, len(ix.dbc))
+		for gi := range out {
+			out[gi] = gi
+		}
+		return out
+	}
+	outs := make([][]int, len(ix.shards))
+	pool.ForEachIndex(len(ix.shards), pool.Normalize(workers, len(ix.shards)), func(si int) {
+		outs[si] = ix.shards[si].scan(cq, need)
+	})
+	var out []int
+	for _, part := range outs {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// PostingsStats reports the inverted index shape: the number of shards and
+// the total posting entries (Σ_g Σ_f c_g(f)) across all levels.
+func (ix *Index) PostingsStats() (shards, entries int) {
+	return len(ix.shards), ix.postEntries
+}
+
+// ShardSize returns the configured shard width.
+func (ix *Index) ShardSize() int { return ix.shardSize }

@@ -14,6 +14,12 @@
 // preserves soundness) and w(e) is the number of feature embeddings of q
 // through edge e. Graphs surviving the count filter are confirmed with the
 // exact subgraph-distance test to produce SCq.
+//
+// The count filter is evaluated over a sharded inverted index — per-feature
+// level postings scanned in parallel, touching only the features q embeds —
+// rather than the dense |D|×|F| matrix scan; see postings.go. The dense
+// matrix is retained as the snapshot payload and the test oracle
+// (CandidatesDense).
 package simsearch
 
 import (
@@ -27,17 +33,24 @@ import (
 	"probgraph/internal/graph"
 	"probgraph/internal/iso"
 	"probgraph/internal/mcs"
+	"probgraph/internal/pool"
 )
 
 // CountCap bounds per-feature embedding counts; both sides of the filter
 // inequality are capped identically, which keeps the filter sound.
 const CountCap = 64
 
-// Index holds per-graph feature occurrence counts.
+// Index holds per-graph feature occurrence counts, both as the dense
+// matrix (snapshot format, test oracle) and as the sharded inverted
+// postings the query path scans (see postings.go).
 type Index struct {
 	Features []*graph.Graph
 	counts   [][]int // [graph][feature]
 	dbc      []*graph.Graph
+
+	shardSize   int
+	shards      []*shard
+	postEntries int
 }
 
 // DefaultFeatures extracts the structural counting features from the
@@ -89,15 +102,27 @@ func DefaultFeatures(dbc []*graph.Graph, maxFeatures int) []*graph.Graph {
 	return out
 }
 
-// BuildIndex counts feature embeddings in every certain graph.
+// BuildIndex counts feature embeddings in every certain graph and builds
+// the sharded inverted postings over the counts.
 func BuildIndex(dbc []*graph.Graph, features []*graph.Graph) *Index {
-	ix := &Index{Features: features, dbc: dbc, counts: make([][]int, len(dbc))}
+	return BuildIndexSharded(dbc, features, DefaultShardSize)
+}
+
+// BuildIndexSharded is BuildIndex with an explicit postings shard width
+// (<= 0 selects DefaultShardSize). The shard width trades scan parallelism
+// against per-shard overhead; it never affects results.
+func BuildIndexSharded(dbc []*graph.Graph, features []*graph.Graph, shardSize int) *Index {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	ix := &Index{Features: features, dbc: dbc, counts: make([][]int, len(dbc)), shardSize: shardSize}
 	for gi, g := range dbc {
 		row := make([]int, len(features))
 		for fi, f := range features {
 			row[fi] = iso.Count(f, g, nil, CountCap)
 		}
 		ix.counts[gi] = row
+		ix.postingsAdd(gi, row)
 	}
 	return ix
 }
@@ -114,23 +139,31 @@ func (ix *Index) AddGraph(g *graph.Graph) {
 	for fi, f := range ix.Features {
 		row[fi] = iso.Count(f, g, nil, CountCap)
 	}
+	gi := len(ix.counts)
 	ix.counts = append(ix.counts, row)
 	ix.dbc = append(ix.dbc, g)
+	ix.postingsAdd(gi, row)
 }
 
 // Save writes the counting features and the per-graph count matrix:
 //
-//	simsearch v1 <numFeatures> <numGraphs>
+//	simsearch v2 <numFeatures> <numGraphs> <shardSize>
 //	  ... numFeatures graph codec blocks ...
 //	counts
 //	<numGraphs rows of numFeatures ints>
 //	endsimsearch
 //
 // The certain graphs themselves are not written; Load re-pairs the counts
-// with the database the caller persists separately.
+// with the database the caller persists separately. The inverted postings
+// are not written either — they are a pure function of the counts and the
+// shard width, and are rebuilt at load time (cheaper than parsing them and
+// immune to drift between the two representations). The v2 section differs
+// from v1 only in carrying shardSize in the header; LoadFromScanner still
+// accepts v1 sections (pre-postings snapshots) and gives them the default
+// shard width.
 func (ix *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "simsearch v1 %d %d\n", len(ix.Features), len(ix.dbc)); err != nil {
+	if _, err := fmt.Fprintf(bw, "simsearch v2 %d %d %d\n", len(ix.Features), len(ix.dbc), ix.shardSize); err != nil {
 		return err
 	}
 	for _, f := range ix.Features {
@@ -161,13 +194,22 @@ func LoadFromScanner(sc *bufio.Scanner, dbc []*graph.Graph) (*Index, error) {
 		return nil, fmt.Errorf("simsearch: reading header: %w", err)
 	}
 	var nf, ng int
-	if _, err := fmt.Sscanf(header, "simsearch v1 %d %d", &nf, &ng); err != nil {
-		return nil, fmt.Errorf("simsearch: bad header %q", header)
+	shardSize := DefaultShardSize
+	if _, err := fmt.Sscanf(header, "simsearch v2 %d %d %d", &nf, &ng, &shardSize); err != nil {
+		// v1 sections (written before the inverted postings existed) carry
+		// no shard width; they load with the default.
+		shardSize = DefaultShardSize
+		if _, err := fmt.Sscanf(header, "simsearch v1 %d %d", &nf, &ng); err != nil {
+			return nil, fmt.Errorf("simsearch: bad header %q", header)
+		}
+	}
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("simsearch: bad shard size in header %q", header)
 	}
 	if ng != len(dbc) {
 		return nil, fmt.Errorf("simsearch: index covers %d graphs, database has %d", ng, len(dbc))
 	}
-	ix := &Index{dbc: dbc}
+	ix := &Index{dbc: dbc, shardSize: shardSize}
 	dec := graph.NewDecoderFromScanner(sc)
 	for fi := 0; fi < nf; fi++ {
 		f, err := dec.Decode()
@@ -215,6 +257,7 @@ func LoadFromScanner(sc *bufio.Scanner, dbc []*graph.Graph) (*Index, error) {
 	if line != "endsimsearch" {
 		return nil, fmt.Errorf("simsearch: want 'endsimsearch', got %q", line)
 	}
+	ix.rebuildPostings()
 	return ix, nil
 }
 
@@ -222,10 +265,16 @@ func scanNonEmpty(sc *bufio.Scanner) (string, error) {
 	return graph.ScanNonEmpty(sc, "simsearch")
 }
 
-// Candidates returns the indices of graphs passing the feature-miss filter
-// for query q at distance threshold delta.
-func (ix *Index) Candidates(q *graph.Graph, delta int) []int {
-	cq := make([]int, len(ix.Features))
+// queryProfile computes the query side of the filter inequality, shared by
+// the postings scan and the dense oracle so the two paths cannot diverge on
+// boundary semantics: cq[f] is the (capped) embedding count of feature f in
+// q, budget is T(δ) — the sum of the δ largest per-edge destruction weights
+// w(e). A graph passes iff Σ_f max(0, cq[f] − c_g(f)) ≤ budget; equality is
+// a pass (deleting the δ heaviest edges may destroy exactly T(δ) feature
+// embeddings). Features with zero embeddings in q contribute nothing on
+// either side and are skipped entirely by the postings scan.
+func (ix *Index) queryProfile(q *graph.Graph, delta int) (cq []int, budget int) {
+	cq = make([]int, len(ix.Features))
 	// Per-edge destruction weights w(e).
 	w := make([]int, q.NumEdges())
 	for fi, f := range ix.Features {
@@ -242,10 +291,19 @@ func (ix *Index) Candidates(q *graph.Graph, delta int) []int {
 	// Budget T(δ): the δ largest w(e).
 	sorted := append([]int(nil), w...)
 	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	budget := 0
 	for i := 0; i < delta && i < len(sorted); i++ {
 		budget += sorted[i]
 	}
+	return cq, budget
+}
+
+// CandidatesDense is the original dense scan over the full count matrix,
+// kept as the reference oracle the postings-based Candidates is tested
+// against (and as the honest baseline of pgbench -fig filter). Both paths
+// share queryProfile, so they answer identically by construction of the
+// hits/misses identity — the property tests assert it anyway.
+func (ix *Index) CandidatesDense(q *graph.Graph, delta int) []int {
+	cq, budget := ix.queryProfile(q, delta)
 	var out []int
 	for gi := range ix.dbc {
 		misses := 0
@@ -268,11 +326,17 @@ func (ix *Index) Confirm(q *graph.Graph, gi, delta int) bool {
 
 // SCq runs filter + exact confirmation: the paper's structural candidate
 // set {g : q ⊆sim gc}. It also reports the filter's candidate count (the
-// "Structure" bar of Figures 10–12).
-func (ix *Index) SCq(q *graph.Graph, delta int) (confirmed []int, filterCandidates int) {
-	cand := ix.Candidates(q, delta)
-	for _, gi := range cand {
-		if ix.Confirm(q, gi, delta) {
+// "Structure" bar of Figures 10–12). Both the postings scan and the exact
+// confirmations run on a pool of `workers` goroutines (0/1 serial,
+// negative GOMAXPROCS); results are identical at every worker count.
+func (ix *Index) SCq(q *graph.Graph, delta, workers int) (confirmed []int, filterCandidates int) {
+	cand := ix.Candidates(q, delta, workers)
+	ok := make([]bool, len(cand))
+	pool.ForEachIndex(len(cand), pool.Normalize(workers, len(cand)), func(i int) {
+		ok[i] = ix.Confirm(q, cand[i], delta)
+	})
+	for i, gi := range cand {
+		if ok[i] {
 			confirmed = append(confirmed, gi)
 		}
 	}

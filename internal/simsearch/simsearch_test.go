@@ -58,7 +58,7 @@ func TestFilterSoundness(t *testing.T) {
 		}
 		delta := rng.Intn(3)
 		cand := make(map[int]bool)
-		for _, gi := range ix.Candidates(q, delta) {
+		for _, gi := range ix.Candidates(q, delta, 1) {
 			cand[gi] = true
 		}
 		for gi, g := range dbc {
@@ -84,7 +84,7 @@ func TestSCqMatchesExactSimilarity(t *testing.T) {
 			return true
 		}
 		delta := 1
-		confirmed, filterCount := ix.SCq(q, delta)
+		confirmed, filterCount := ix.SCq(q, delta, 1)
 		inConf := make(map[int]bool)
 		for _, gi := range confirmed {
 			inConf[gi] = true
@@ -112,7 +112,7 @@ func TestQueryFromDBAlwaysSurvives(t *testing.T) {
 	}
 	for delta := 0; delta <= 2; delta++ {
 		found := false
-		for _, gi := range ix.Candidates(q, delta) {
+		for _, gi := range ix.Candidates(q, delta, 1) {
 			if gi == 0 {
 				found = true
 			}
@@ -159,7 +159,7 @@ func TestBiggerDeltaNeverShrinksCandidates(t *testing.T) {
 	}
 	prev := -1
 	for delta := 0; delta <= 3; delta++ {
-		n := len(ix.Candidates(q, delta))
+		n := len(ix.Candidates(q, delta, 1))
 		if n < prev {
 			t.Fatalf("candidates shrank from %d to %d as delta grew to %d", prev, n, delta)
 		}

@@ -37,8 +37,10 @@
 //
 // The pipeline is embarrassingly parallel across database graphs, and the
 // engine exploits that: QueryOptions.Concurrency bounds a worker pool that
-// evaluates candidates (bound combination and verification) in parallel,
-// both in Query/QueryTopK and across the queries of Database.QueryBatch.
+// scans the structural filter's inverted-postings shards, confirms the
+// survivors, and evaluates candidates (bound combination and verification)
+// in parallel, both in Query/QueryTopK and across the queries of
+// Database.QueryBatch.
 // Results are deterministic at every worker count — all per-candidate
 // randomness is seeded from QueryOptions.Seed and the candidate's graph
 // index, never from scheduling order — so a parallel run returns exactly
