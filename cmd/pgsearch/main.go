@@ -7,7 +7,7 @@
 //	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
 //	         [-qfrom 0] [-queries 5] [-qfile q.pgraph] [-verifier smp|exact|none]
 //	         [-plain] [-workers 1] [-batch] [-seed 1] [-v] [-json]
-//	         [-savesnap db.idx]
+//	         [-timeout 0] [-stream] [-savesnap db.idx]
 //	pgsearch -loadsnap db.idx ...   (start from a snapshot, no re-indexing)
 //
 // Queries are extracted from the certain graph of the graph at index
@@ -25,15 +25,28 @@
 // QueryBatch call, spreading the same pool across the queries. Both knobs
 // change scheduling only: for a fixed -seed, every combination of
 // -workers and -batch reports identical answers.
+//
+// -timeout D bounds the whole query run with a deadline; on expiry
+// pgsearch prints a one-line error to stderr and exits 3 (distinct from
+// exit 2 for bad flags and exit 1 for evaluation failures).
+//
+// -stream answers with Database.QueryStream instead: one NDJSON line per
+// verified match, written as verification admits it (arrival order), then
+// one summary line per query with the sorted answer set — which is
+// bitwise-identical to the answers the non-streaming run reports, at any
+// -workers. -stream implies NDJSON output and excludes -batch.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"probgraph"
@@ -59,6 +72,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-answer SSP estimates")
 	jsonOut := flag.Bool("json", false, "print results as JSON to stdout (suppresses tables)")
+	timeout := flag.Duration("timeout", 0, "deadline for the query run (0 = none; expiry exits 3)")
+	stream := flag.Bool("stream", false, "stream matches as NDJSON while verification admits them")
 	flag.Parse()
 
 	if (*dbPath == "") == (*loadSnap == "") {
@@ -80,8 +95,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgsearch: -qsize must be >= 1, got %d\n", *qsize)
 		os.Exit(2)
 	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "pgsearch: -timeout must be >= 0, got %v\n", *timeout)
+		os.Exit(2)
+	}
+	if *stream && *batch {
+		fmt.Fprintln(os.Stderr, "pgsearch: -stream and -batch are mutually exclusive")
+		os.Exit(2)
+	}
 	say := func(format string, args ...any) {
-		if !*jsonOut {
+		// -stream shares stdout with the NDJSON lines, so it implies the
+		// same chatter suppression as -json.
+		if !*jsonOut && !*stream {
 			fmt.Printf(format, args...)
 		}
 	}
@@ -199,15 +224,40 @@ func main() {
 		}
 	}
 
+	// The whole query run shares one context; -timeout bounds it and the
+	// engine cancels at candidate granularity on expiry.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	exitOnDeadline := func(err error) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "pgsearch: query run exceeded -timeout %v\n", *timeout)
+			os.Exit(3)
+		}
+	}
+
+	if *stream {
+		runStream(ctx, db, qs, probgraph.QueryOptions{
+			Epsilon: *epsilon, Delta: *delta,
+			OptBounds: !*plain, Verifier: vk,
+			Seed: *seed, Concurrency: *workers,
+		}, exitOnDeadline)
+		return
+	}
+
 	qStart := time.Now()
 	results := make([]*probgraph.Result, len(qs))
 	if *batch {
-		rs, err := db.QueryBatch(qs, probgraph.QueryOptions{
+		rs, err := db.QueryBatchCtx(ctx, qs, probgraph.QueryOptions{
 			Epsilon: *epsilon, Delta: *delta,
 			OptBounds: !*plain, Verifier: vk,
 			Seed: *seed, Concurrency: *workers,
 		})
 		if err != nil {
+			exitOnDeadline(err)
 			log.Fatal(err)
 		}
 		results = rs
@@ -215,12 +265,13 @@ func main() {
 		for i, q := range qs {
 			// Same per-query seed derivation as QueryBatch, so -batch
 			// changes scheduling only, never answers.
-			res, err := db.Query(q, probgraph.QueryOptions{
+			res, err := db.QueryCtx(ctx, q, probgraph.QueryOptions{
 				Epsilon: *epsilon, Delta: *delta,
 				OptBounds: !*plain, Verifier: vk,
 				Seed: probgraph.BatchSeed(*seed, i), Concurrency: *workers,
 			})
 			if err != nil {
+				exitOnDeadline(err)
 				log.Fatal(err)
 			}
 			results[i] = res
@@ -259,6 +310,62 @@ func main() {
 	table.Render(os.Stdout)
 	fmt.Printf("%d queries in %v (workers=%d, batch=%v)\n",
 		len(qs), elapsed.Round(time.Microsecond), *workers, *batch)
+}
+
+// streamMatchJSON is one -stream NDJSON line: a verified match of query
+// Query, delivered in arrival order.
+type streamMatchJSON struct {
+	Query int     `json:"query"`
+	Graph int     `json:"graph"`
+	Name  string  `json:"name"`
+	SSP   float64 `json:"ssp"`
+}
+
+// streamSummaryJSON closes one query's stream with the sorted answer set —
+// bitwise-identical to the non-streaming run's answers.
+type streamSummaryJSON struct {
+	Query   int     `json:"query"`
+	Done    bool    `json:"done"`
+	Answers []int   `json:"answers"`
+	Count   int     `json:"count"`
+	TimeMS  float64 `json:"time_ms"`
+}
+
+// runStream answers every query through Database.QueryStream, printing
+// matches the moment verification admits them. Per-query seeds derive
+// exactly as in the non-streaming path (BatchSeed), so the summary line's
+// sorted answers match a plain run with the same flags.
+func runStream(ctx context.Context, db *probgraph.Database, qs []*probgraph.Graph,
+	opt probgraph.QueryOptions, exitOnDeadline func(error)) {
+	enc := json.NewEncoder(os.Stdout)
+	for i, q := range qs {
+		qo := opt
+		qo.Seed = probgraph.BatchSeed(opt.Seed, i)
+		start := time.Now()
+		var answers []int
+		for m, err := range db.QueryStream(ctx, q, qo) {
+			if err != nil {
+				exitOnDeadline(err)
+				log.Fatal(err)
+			}
+			if err := enc.Encode(streamMatchJSON{
+				Query: i, Graph: m.Graph, Name: db.Graphs[m.Graph].G.Name(), SSP: m.SSP,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			answers = append(answers, m.Graph)
+		}
+		sort.Ints(answers)
+		if answers == nil {
+			answers = []int{}
+		}
+		if err := enc.Encode(streamSummaryJSON{
+			Query: i, Done: true, Answers: answers, Count: len(answers),
+			TimeMS: float64(time.Since(start).Microseconds()) / 1000,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // queryJSON is one query's machine-readable result; answers and ssp are

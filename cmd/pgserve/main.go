@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pgserve -snapshot db.idx [-addr :8091] [-cache 256] [-workers -1]
-//	        [-inflight 0]
+//	        [-inflight 0] [-timeout 0]
 //	pgserve -db db.pgraph ...   (build the index at startup instead)
 //
 // With -snapshot (written by pgsearch -savesnap, pggen -savesnap, or
@@ -16,16 +16,26 @@
 //
 // Endpoints (JSON bodies; see internal/server for the wire types):
 //
-//	POST /query    one T-PS query: graph|graph_text, epsilon, delta,
-//	               verifier, plain, seed, workers, no_cache
-//	POST /topk     ranked top-k variant (adds k)
-//	POST /batch    many queries, one option set, per-member derived seeds
-//	POST /graphs   incremental AddGraph ingestion (pgraph JSON or text)
-//	GET  /stats    server + cache counters
-//	GET  /healthz  liveness probe
+//	POST /query         one T-PS query: graph|graph_text, epsilon, delta,
+//	                    verifier, plain, seed, workers, no_cache, timeout_ms
+//	POST /query/stream  same query, NDJSON delivery: one line per verified
+//	                    match as verification admits it, then a summary
+//	                    line with the sorted answer set
+//	POST /topk          ranked top-k variant (adds k)
+//	POST /batch         many queries, one option set, per-member derived seeds
+//	POST /graphs        incremental AddGraph ingestion (pgraph JSON or text)
+//	GET  /stats         server + cache counters
+//	GET  /healthz       liveness probe
+//
+// Every request runs under a context: the client disconnecting, the
+// request's timeout_ms (or the -timeout default) expiring, or pgserve
+// being told to shut down all cancel the in-flight evaluation at candidate
+// granularity. Expired deadlines answer a structured HTTP 504; shutdown no
+// longer waits for a full database scan to finish.
 //
 // Every response is bitwise-identical to the corresponding library call
-// with the same seed; workers changes latency, never answers.
+// with the same seed; workers changes latency, never answers, and a
+// stream's sorted answer set equals /query's.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,11 +63,16 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "result cache capacity in entries (<0 disables)")
 	workers := flag.Int("workers", -1, "default per-query worker pool (<0 = GOMAXPROCS)")
 	inflight := flag.Int("inflight", 0, "max concurrently evaluated queries (0 = 2×GOMAXPROCS, <0 unbounded)")
+	timeout := flag.Duration("timeout", 0, "default per-request evaluation deadline (0 = none; requests override via timeout_ms)")
 	flag.Parse()
 
 	if (*snapshot == "") == (*dbPath == "") {
 		fmt.Fprintln(os.Stderr, "pgserve: give exactly one of -snapshot or -db")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "pgserve: -timeout must be >= 0, got %v\n", *timeout)
 		os.Exit(2)
 	}
 
@@ -95,30 +111,40 @@ func main() {
 
 	srv := server.New(db, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, MaxInflight: *inflight,
+		Timeout: *timeout,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
-		// Handlers never hold database locks across response writes, so a
-		// slow client costs a connection, not the service; these bound
-		// that cost (header slow-loris, dead keep-alives, stuck writes).
+		// Every request context derives from the signal context: SIGTERM
+		// propagates into in-flight queries, which cancel at candidate
+		// granularity — graceful shutdown no longer waits for a full
+		// database scan to finish, only for the current candidates.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Handlers never hold database locks across response writes
+		// (/query/stream evaluates under the lock but delivers through a
+		// buffer, so a stalled reader never pins it), so a slow client
+		// costs a connection, not the service; these bound that cost
+		// (header slow-loris, dead keep-alives, stuck writes).
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (cache=%d workers=%d)", *addr, *cacheSize, *workers)
+	log.Printf("serving on %s (cache=%d workers=%d timeout=%v)", *addr, *cacheSize, *workers, *timeout)
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
-		log.Print("shutting down")
+		log.Print("shutting down (in-flight queries cancelled)")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

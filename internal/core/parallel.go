@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"probgraph/internal/graph"
@@ -8,13 +9,17 @@ import (
 	"probgraph/internal/pool"
 )
 
-// normalizeWorkers and forEachIndex are the package-local names of the
+// normalizeWorkers and forEachIndexCtx are the package-local names of the
 // shared deterministic worker pool (internal/pool), which the structural
 // filter's shard scan also runs on — one Concurrency knob, one pool
-// semantics everywhere.
+// semantics everywhere. Cancellation is checked per work item (one
+// candidate evaluation); the returned error is ctx.Err() when the loop
+// stopped early.
 func normalizeWorkers(concurrency, n int) int { return pool.Normalize(concurrency, n) }
 
-func forEachIndex(n, workers int, fn func(i int)) { pool.ForEachIndex(n, workers, fn) }
+func forEachIndexCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return pool.ForEachIndexCtx(ctx, n, workers, fn)
+}
 
 // Salts separating the independent per-candidate random streams derived
 // from one QueryOptions.Seed.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -129,9 +130,22 @@ type Result struct {
 
 // Query runs the full T-PS pipeline for query graph q. Candidates are
 // evaluated on a pool of opt.Concurrency workers; see QueryOptions for the
-// determinism guarantee.
+// determinism guarantee. Query never cancels; it is QueryCtx with
+// context.Background().
 func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
-	return db.query(q, opt, nil)
+	return db.query(context.Background(), q, opt, nil)
+}
+
+// QueryCtx is Query under a context: cancellation (or a deadline) is
+// checked at every pipeline stage — before the structural scan, per
+// postings shard, per exact confirmation, per relaxed query during pruner
+// construction, and per candidate in the fused prune+verify loop. A
+// cancelled query returns (nil, ctx.Err()) promptly — one in-flight
+// candidate evaluation per worker at most — leaks no goroutines, and
+// never returns a partial Result. An uncancelled QueryCtx call returns
+// exactly what Query would.
+func (db *Database) QueryCtx(ctx context.Context, q *graph.Graph, opt QueryOptions) (*Result, error) {
+	return db.query(ctx, q, opt, nil)
 }
 
 // candOutcome is the per-candidate result of the fused pruning +
@@ -144,13 +158,58 @@ type candOutcome struct {
 	verifyT time.Duration
 }
 
-func (db *Database) query(q *graph.Graph, opt QueryOptions, cache *relCache) (*Result, error) {
+// evalCandidate runs the fused probabilistic-pruning + verification stage
+// for one candidate graph gi. pr == nil skips the pruning phase (PMI
+// disabled or bypassed). The outcome is a pure function of
+// (db, q, u, gi, opt): all randomness is seeded from candSeed, so every
+// caller — the materializing query loop, the top-k scheduler, the stream
+// workers — computes the identical outcome regardless of scheduling.
+func (db *Database) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi int, opt QueryOptions) candOutcome {
+	var o candOutcome
+	if pr != nil {
+		t := time.Now()
+		rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
+		o.verdict = pr.judge(gi, rng)
+		o.probT = time.Since(t)
+	}
+	if o.verdict != judgeUndecided || opt.Verifier == VerifierNone {
+		return o
+	}
+	t := time.Now()
+	o.ssp, o.err = db.VerifySSP(q, u, gi, opt)
+	o.verifyT = time.Since(t)
+	return o
+}
+
+// outcomeMatch translates a candidate outcome into stream terms: whether
+// gi belongs to the answer set, and the SSP to report for it. Verified
+// answers carry their estimate; direct lower-bound accepts and
+// VerifierNone answers carry -1 ("not re-estimated"), mirroring
+// Result.SSP.
+func outcomeMatch(o candOutcome, opt QueryOptions) (match bool, ssp float64) {
+	switch o.verdict {
+	case judgePrune:
+		return false, 0
+	case judgeAccept:
+		return true, -1
+	default:
+		if opt.Verifier == VerifierNone {
+			return true, -1
+		}
+		return o.ssp >= opt.Epsilon, o.ssp
+	}
+}
+
+func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cache *relCache) (*Result, error) {
 	opt = opt.withDefaults()
 	if opt.Epsilon <= 0 || opt.Epsilon > 1 {
 		return nil, fmt.Errorf("core: epsilon %v outside (0,1]", opt.Epsilon)
 	}
 	if opt.Delta < 0 {
 		return nil, fmt.Errorf("core: negative delta")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	res := &Result{SSP: make(map[int]float64)}
@@ -170,7 +229,10 @@ func (db *Database) query(q *graph.Graph, opt QueryOptions, cache *relCache) (*R
 	// Phase 1: structural pruning (Theorem 1). The inverted-postings scan
 	// and the exact confirmations share the query's worker pool.
 	t0 := time.Now()
-	scq, filterCount := db.Struct.SCq(q, opt.Delta, opt.Concurrency)
+	scq, filterCount, err := db.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.StructFilterCandidates = filterCount
 	res.Stats.StructConfirmed = len(scq)
 	res.Stats.TimeStruct = time.Since(t0)
@@ -190,33 +252,26 @@ func (db *Database) query(q *graph.Graph, opt QueryOptions, cache *relCache) (*R
 	var pr *pruner
 	if probActive {
 		t := time.Now()
-		pr = db.newPruner(u, opt, cache)
+		pr, err = db.newPruner(ctx, u, opt, cache)
+		if err != nil {
+			return nil, err
+		}
 		res.Stats.TimeProb += time.Since(t)
 	}
 	outs := make([]candOutcome, len(scq))
 	var abort atomic.Bool // first verification error stops remaining work
-	forEachIndex(len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
+	err = forEachIndexCtx(ctx, len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
 		if abort.Load() {
 			return // a pending error makes this candidate's work moot
 		}
-		gi := scq[i]
-		o := &outs[i]
-		if probActive {
-			t := time.Now()
-			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
-			o.verdict = pr.judge(gi, rng)
-			o.probT = time.Since(t)
-		}
-		if o.verdict != judgeUndecided || opt.Verifier == VerifierNone {
-			return
-		}
-		t := time.Now()
-		o.ssp, o.err = db.VerifySSP(q, u, gi, opt)
-		o.verifyT = time.Since(t)
-		if o.err != nil {
+		outs[i] = db.evalCandidate(q, u, pr, scq[i], opt)
+		if outs[i].err != nil {
 			abort.Store(true)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Deterministic aggregation in database order.
 	for i, gi := range scq {
@@ -326,12 +381,19 @@ type pruner struct {
 	subOf [][]int
 }
 
-func (db *Database) newPruner(u []*graph.Graph, opt QueryOptions, cache *relCache) *pruner {
+// newPruner builds the query-side feature/relaxed-query relation tables.
+// The dominant cost is the subgraph isomorphism tests of featureRelations,
+// one batch per relaxed query, so ctx is checked at that granularity — a
+// cancelled construction returns (nil, ctx.Err()).
+func (db *Database) newPruner(ctx context.Context, u []*graph.Graph, opt QueryOptions, cache *relCache) (*pruner, error) {
 	p := &pruner{db: db, u: u, opt: opt}
 	nf := db.PMI.NumFeatures()
 	p.supOf = make([][]int, nf)
 	p.subOf = make([][]int, nf)
 	for i, rq := range u {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rel := db.featureRelations(rq, cache)
 		for _, j := range rel.sup {
 			p.supOf[j] = append(p.supOf[j], i)
@@ -340,7 +402,7 @@ func (db *Database) newPruner(u []*graph.Graph, opt QueryOptions, cache *relCach
 			p.subOf[j] = append(p.subOf[j], i)
 		}
 	}
-	return p
+	return p, nil
 }
 
 // judge applies Pruning 1 (upper < ε ⇒ prune) then Pruning 2 (lower ≥ ε ⇒

@@ -12,6 +12,7 @@ import (
 	"probgraph/internal/feature"
 	"probgraph/internal/graph"
 	"probgraph/internal/pmi"
+	"probgraph/internal/pool"
 	"probgraph/internal/prob"
 	"probgraph/internal/simsearch"
 )
@@ -246,7 +247,7 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	// construction, parallel across graphs.
 	db.Engines = make([]*prob.Engine, n)
 	engErrs := make([]error, n)
-	forEachIndex(n, normalizeWorkers(-1, n), func(gi int) {
+	pool.ForEachIndex(n, normalizeWorkers(-1, n), func(gi int) {
 		db.Engines[gi], engErrs[gi] = prob.NewEngine(db.Graphs[gi])
 	})
 	for gi, err := range engErrs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -48,7 +49,10 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 		scq, _ := db.Struct.SCq(q, delta, 1)
 		for _, optBounds := range []bool{false, true} {
 			qo := QueryOptions{Epsilon: 0.5, Delta: delta, OptBounds: optBounds, Seed: seed}
-			pr := db.newPruner(u, qo.withDefaults(), nil)
+			pr, err := db.newPruner(context.Background(), u, qo.withDefaults(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, gi := range scq {
 				exact, err := db.ExactSSPByEnumeration(q, gi, delta)
 				if err != nil {

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"probgraph/internal/dataset"
+	"probgraph/internal/verify"
+)
+
+// streamSSP is the SSP Query's Result implies for answer gi: the recorded
+// estimate when one exists, -1 otherwise (VerifierNone answers have no
+// Result.SSP entry but stream as "not re-estimated").
+func streamSSP(res *Result, gi int) float64 {
+	if ssp, ok := res.SSP[gi]; ok {
+		return ssp
+	}
+	return -1
+}
+
+// TestQueryStreamCollectEqualsQuery is the stream/collect identity
+// contract: across seeds, worker counts, bound modes, and verifiers, the
+// collected stream — re-sorted by graph index — must be bitwise-identical
+// to Query's answer set and SSP estimates. Arrival order may differ run to
+// run; the set may not.
+func TestQueryStreamCollectEqualsQuery(t *testing.T) {
+	db, _ := smallDatabase(t, 3001, 10, true)
+	rng := rand.New(rand.NewSource(83))
+	qs := []int{0, 3, 6}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, optBounds := range []bool{false, true} {
+		for _, vk := range []VerifierKind{VerifierSMP, VerifierNone} {
+			for _, qi := range qs {
+				q := dataset.ExtractQuery(db.Certain[qi], 4, rng)
+				for seed := int64(1); seed <= 3; seed++ {
+					opt := QueryOptions{
+						Epsilon: 0.4, Delta: 1, OptBounds: optBounds, Verifier: vk,
+						Verify: verify.Options{N: 1200}, Seed: seed,
+					}
+					want, err := db.Query(q, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range workerCounts {
+						po := opt
+						po.Concurrency = workers
+						label := fmt.Sprintf("optBounds=%v/verifier=%d/q=%d/seed=%d/workers=%d",
+							optBounds, vk, qi, seed, workers)
+						var got []Match
+						for m, err := range db.QueryStream(context.Background(), q, po) {
+							if err != nil {
+								t.Fatalf("%s: stream error: %v", label, err)
+							}
+							got = append(got, m)
+						}
+						sort.Slice(got, func(i, j int) bool { return got[i].Graph < got[j].Graph })
+						if len(got) != len(want.Answers) {
+							t.Fatalf("%s: stream yielded %d matches, Query found %d (%v vs %v)",
+								label, len(got), len(want.Answers), got, want.Answers)
+						}
+						for i, m := range got {
+							if m.Graph != want.Answers[i] {
+								t.Fatalf("%s: sorted stream graph[%d] = %d, Query %d",
+									label, i, m.Graph, want.Answers[i])
+							}
+							if wssp := streamSSP(want, m.Graph); m.SSP != wssp {
+								t.Fatalf("%s: SSP[%d] = %v, Query %v (not bitwise)",
+									label, m.Graph, m.SSP, wssp)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryStreamEarlyBreak: a consumer that stops after the first match
+// must leave no goroutines behind, and every match it did see must be a
+// true Query answer with the identical SSP — early abandonment never
+// corrupts what was already delivered.
+func TestQueryStreamEarlyBreak(t *testing.T) {
+	db, _ := smallDatabase(t, 3002, 10, true)
+	rng := rand.New(rand.NewSource(91))
+	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	opt := QueryOptions{Epsilon: 0.3, Delta: 2, OptBounds: true, Seed: 7}
+	want, err := db.Query(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Answers) < 3 {
+		t.Fatalf("workload has %d answers, want >= 3 for a meaningful early break (pick new seeds)",
+			len(want.Answers))
+	}
+	wantSSP := make(map[int]float64)
+	for _, gi := range want.Answers {
+		wantSSP[gi] = streamSSP(want, gi)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for cut := 1; cut <= len(want.Answers); cut++ {
+			baseline := runtime.NumGoroutine()
+			po := opt
+			po.Concurrency = workers
+			var got []Match
+			for m, err := range db.QueryStream(context.Background(), q, po) {
+				if err != nil {
+					t.Fatalf("workers=%d cut=%d: stream error: %v", workers, cut, err)
+				}
+				got = append(got, m)
+				if len(got) == cut {
+					break
+				}
+			}
+			if len(got) != cut {
+				t.Fatalf("workers=%d: got %d matches before break, want %d", workers, len(got), cut)
+			}
+			seen := make(map[int]bool)
+			for _, m := range got {
+				if seen[m.Graph] {
+					t.Fatalf("workers=%d cut=%d: graph %d yielded twice", workers, cut, m.Graph)
+				}
+				seen[m.Graph] = true
+				wssp, ok := wantSSP[m.Graph]
+				if !ok {
+					t.Fatalf("workers=%d cut=%d: stream yielded non-answer %d", workers, cut, m.Graph)
+				}
+				if m.SSP != wssp {
+					t.Fatalf("workers=%d cut=%d: SSP[%d] = %v, Query %v", workers, cut, m.Graph, m.SSP, wssp)
+				}
+			}
+			checkGoroutineBaseline(t, "QueryStream early break", baseline)
+		}
+	}
+}
+
+// TestQueryStreamCancelMidStream: cancelling the caller's context ends the
+// stream with ctx.Err() as its final element and reclaims the workers.
+func TestQueryStreamCancelMidStream(t *testing.T) {
+	db, q, opt := slowQueryEnv(t)
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		po := opt
+		po.Concurrency = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		var finalErr error
+		for _, err := range db.QueryStream(ctx, q, po) {
+			if err != nil {
+				finalErr = err
+			}
+		}
+		cancel()
+		if !errors.Is(finalErr, context.Canceled) {
+			t.Fatalf("workers=%d: final stream error = %v, want context.Canceled", workers, finalErr)
+		}
+		checkGoroutineBaseline(t, "QueryStream cancel", baseline)
+	}
+}
+
+// TestQueryStreamPreCancelled: a dead context yields exactly one error
+// element and nothing else.
+func TestQueryStreamPreCancelled(t *testing.T) {
+	db, _ := smallDatabase(t, 3003, 6, true)
+	rng := rand.New(rand.NewSource(97))
+	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, errs := 0, 0
+	for m, err := range db.QueryStream(ctx, q, QueryOptions{Epsilon: 0.4, Delta: 1}) {
+		n++
+		if err != nil {
+			errs++
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("stream error = %v, want Canceled", err)
+			}
+		} else {
+			t.Fatalf("dead context yielded match %+v", m)
+		}
+	}
+	if n != 1 || errs != 1 {
+		t.Fatalf("dead context yielded %d elements (%d errors), want exactly 1 error", n, errs)
+	}
+}
+
+// TestQueryStreamDegenerateDelta: δ ≥ |q| streams every graph with SSP 1,
+// matching Query's degenerate fast path.
+func TestQueryStreamDegenerateDelta(t *testing.T) {
+	db, _ := smallDatabase(t, 3004, 6, true)
+	rng := rand.New(rand.NewSource(101))
+	q := dataset.ExtractQuery(db.Certain[0], 3, rng)
+	opt := QueryOptions{Epsilon: 0.4, Delta: q.NumEdges()}
+	var got []Match
+	for m, err := range db.QueryStream(context.Background(), q, opt) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	if len(got) != db.Len() {
+		t.Fatalf("degenerate stream yielded %d, want %d", len(got), db.Len())
+	}
+	for i, m := range got {
+		if m.Graph != i || m.SSP != 1 {
+			t.Fatalf("degenerate match[%d] = %+v, want {%d 1}", i, m, i)
+		}
+	}
+}
+
+// TestQueryStreamBadOptions: invalid thresholds surface as a single error
+// element, mirroring Query's validation.
+func TestQueryStreamBadOptions(t *testing.T) {
+	db, _ := smallDatabase(t, 3005, 6, true)
+	rng := rand.New(rand.NewSource(103))
+	q := dataset.ExtractQuery(db.Certain[0], 3, rng)
+	for _, opt := range []QueryOptions{
+		{Epsilon: 1.5, Delta: 1},
+		{Epsilon: 0.4, Delta: -1},
+	} {
+		n := 0
+		var got error
+		for _, err := range db.QueryStream(context.Background(), q, opt) {
+			n++
+			got = err
+		}
+		if n != 1 || got == nil {
+			t.Fatalf("opt %+v: %d elements, err %v — want exactly one error", opt, n, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -33,12 +34,25 @@ type TopKItem struct {
 // bounded and its results are discarded, costing only wasted work, never
 // a changed answer.
 func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
+	return db.QueryTopKCtx(context.Background(), q, k, opt)
+}
+
+// QueryTopKCtx is QueryTopK under a context. Cancellation is checked at
+// every stage — structural scan (shard granularity), bound computation and
+// verification (candidate granularity) — and wakes workers blocked on the
+// speculation window, so a cancelled call returns (nil, ctx.Err())
+// promptly without leaking goroutines. An uncancelled call returns exactly
+// QueryTopK's ranking.
+func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
 	opt = opt.withDefaults()
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive")
 	}
 	if opt.Delta < 0 {
 		return nil, fmt.Errorf("core: negative delta")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opt.Delta >= q.NumEdges() {
 		out := make([]TopKItem, 0, k)
@@ -47,7 +61,10 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 		}
 		return out, nil
 	}
-	scq, _ := db.Struct.SCq(q, opt.Delta, opt.Concurrency)
+	scq, _, err := db.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	if len(scq) == 0 {
 		return nil, nil
 	}
@@ -63,8 +80,11 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 	}
 	cands := make([]cand, len(scq))
 	if db.PMI != nil {
-		pr := db.newPruner(u, opt, nil)
-		forEachIndex(len(scq), workers, func(i int) {
+		pr, err := db.newPruner(ctx, u, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
 			gi := scq[i]
 			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
 			ub := pr.upperBound(db.PMI.Lookup(gi), rng)
@@ -73,6 +93,9 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 			}
 			cands[i] = cand{gi, ub}
 		})
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		for i, gi := range scq {
 			cands[i] = cand{gi, 1}
@@ -105,12 +128,31 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 		committed int  // results folded into top, in schedule order
 		stopped   bool // serial termination rule fired
 		firstErr  error
+		ctxErr    error // set by the cancellation watcher, ends the run
 		done      = make([]bool, n)
 		ssps      = make([]float64, n)
 		errs      = make([]error, n)
 		top       []TopKItem
 	)
 	cond := sync.NewCond(&mu)
+	// The workers block on cond (speculation window), not on a channel, so
+	// ctx cancellation must be translated into a broadcast: a watcher
+	// goroutine marks ctxErr and wakes everyone. stopWatch reclaims the
+	// watcher on normal completion.
+	if cdone := ctx.Done(); cdone != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-cdone:
+				mu.Lock()
+				ctxErr = ctx.Err()
+				cond.Broadcast()
+				mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
 	kthBest := func() float64 {
 		if len(top) < k {
 			return 0
@@ -123,7 +165,7 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 	// waiting on done[committed]; the cutoff then fires without paying
 	// for the first hopeless candidate. Caller holds mu.
 	commit := func() {
-		for !stopped && firstErr == nil && committed < n {
+		for !stopped && firstErr == nil && ctxErr == nil && committed < n {
 			c := cands[committed]
 			if len(top) >= k && c.upper <= kthBest() {
 				stopped = true
@@ -154,10 +196,10 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 	verifyWorker := func() {
 		for {
 			mu.Lock()
-			for !stopped && firstErr == nil && next < n && next >= committed+window {
+			for !stopped && firstErr == nil && ctxErr == nil && next < n && next >= committed+window {
 				cond.Wait()
 			}
-			if stopped || firstErr != nil || next >= n {
+			if stopped || firstErr != nil || ctxErr != nil || next >= n {
 				mu.Unlock()
 				return
 			}
@@ -187,10 +229,20 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 		}
 		wg.Wait()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// The watcher may still be writing ctxErr; read the terminal state
+	// under the lock. A cancelled run reports ctx.Err() even when the
+	// serial cutoff raced it to completion — "cancelled means cancelled"
+	// keeps the caller-facing contract one-dimensional.
+	mu.Lock()
+	cerr, ferr, ranking := ctxErr, firstErr, top
+	mu.Unlock()
+	if cerr != nil {
+		return nil, cerr
 	}
-	return top, nil
+	if ferr != nil {
+		return nil, ferr
+	}
+	return ranking, nil
 }
 
 // QueryBatch answers many queries over one bounded worker pool of
@@ -205,6 +257,15 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 // the query-side feature/relaxed-query isomorphism tests that dominate
 // pruner setup when the batch's queries overlap structurally.
 func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
+	return db.QueryBatchCtx(context.Background(), qs, opt)
+}
+
+// QueryBatchCtx is QueryBatch under a context. The context is shared by
+// every member query — cancellation stops the whole batch (member queries
+// check it per pipeline stage and per candidate) and the call returns
+// (nil, ctx.Err()); there are no partial batch results. An uncancelled
+// call returns exactly QueryBatch's results.
+func (db *Database) QueryBatchCtx(ctx context.Context, qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
@@ -217,20 +278,28 @@ func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, 
 	results := make([]*Result, len(qs))
 	errs := make([]error, len(qs))
 	var abort atomic.Bool // first failed query stops remaining work
-	forEachIndex(len(qs), workers, func(i int) {
+	err := forEachIndexCtx(ctx, len(qs), workers, func(i int) {
 		if abort.Load() {
 			return
 		}
 		qo := opt
 		qo.Seed = BatchSeed(opt.Seed, i)
 		qo.Concurrency = inner
-		results[i], errs[i] = db.query(qs[i], qo, cache)
+		results[i], errs[i] = db.query(ctx, qs[i], qo, cache)
 		if errs[i] != nil {
 			abort.Store(true)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
+			// A member that died of the shared context reports plain
+			// ctx.Err(): the batch was cancelled, not that query failing.
+			if err == ctx.Err() {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: query %d: %w", i, err)
 		}
 	}

@@ -3,9 +3,16 @@
 // shard scans in the simsearch structural filter — runs on this one
 // primitive, so the QueryOptions.Concurrency knob has a single meaning
 // everywhere: it bounds goroutines, never changes results.
+//
+// The context-aware entry point ForEachIndexCtx is the cancellation
+// backbone of the query engine: cancellation is checked once per work
+// item, so a cancelled query stops at item granularity (one candidate
+// evaluation, one postings shard) without ever changing the result of
+// items that did complete.
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,11 +43,25 @@ func Normalize(concurrency, n int) int {
 // writes to per-index slots; indices are handed out by an atomic counter,
 // so completion order is unspecified.
 func ForEachIndex(n, workers int, fn func(i int)) {
+	ForEachIndexCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachIndexCtx is ForEachIndex with cooperative cancellation: ctx is
+// checked before each index is handed out, and once it is done no further
+// fn call starts. Indices already dispatched run to completion — fn is
+// never interrupted mid-call — and every worker goroutine has exited by
+// the time ForEachIndexCtx returns, so a cancelled loop leaks nothing.
+// The return value is ctx.Err() when the loop stopped early, nil when all
+// n indices ran.
+func ForEachIndexCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -48,7 +69,7 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -58,4 +79,9 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	// A context that died at any point during the loop — even one that
+	// raced the final index — reports cancellation: callers treat a
+	// non-nil return as "results must be discarded", which is the only
+	// sound reading when some tail of fn calls may have been skipped.
+	return ctx.Err()
 }

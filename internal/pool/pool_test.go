@@ -1,9 +1,12 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNormalize(t *testing.T) {
@@ -45,5 +48,86 @@ func TestForEachIndexEmpty(t *testing.T) {
 	ForEachIndex(0, 4, func(i int) { called = true })
 	if called {
 		t.Fatal("fn called for n=0")
+	}
+}
+
+// TestForEachIndexCtxCompletesUncancelled: with a live context the ctx
+// variant behaves exactly like ForEachIndex and returns nil.
+func TestForEachIndexCtxCompletesUncancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		err := ForEachIndexCtx(context.Background(), n, workers, func(i int) { counts[i].Add(1) })
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachIndexCtxPreCancelled: an already-dead context runs nothing at
+// all — the first cancellation point is before the first fn call.
+func TestForEachIndexCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachIndexCtx(ctx, 100, workers, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d fn calls ran on a dead context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachIndexCtxCancelMidRun: cancelling while the loop is in flight
+// stops it promptly — the visited count stays well below n — returns
+// ctx.Err(), and leaves no worker goroutines behind.
+func TestForEachIndexCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 1 << 20
+		var ran atomic.Int32
+		err := ForEachIndexCtx(ctx, n, workers, func(i int) {
+			if ran.Add(1) == 50 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight fn calls (one per worker) may finish after cancel; no
+		// new index may start.
+		if got := ran.Load(); got > 50+int32(workers) {
+			t.Fatalf("workers=%d: %d indices ran after cancel at 50", workers, got)
+		}
+		waitForGoroutines(t, before)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to (at most)
+// the recorded baseline, failing after a generous deadline. Cheap leak
+// check: ForEachIndexCtx promises every worker has exited on return.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline %d (now %d)",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

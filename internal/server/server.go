@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -25,6 +27,11 @@ type Options struct {
 	// MaxInflight bounds concurrently evaluated queries; further requests
 	// wait. 0 selects 2×GOMAXPROCS; negative means unbounded.
 	MaxInflight int
+	// Timeout is the default per-request evaluation deadline. A request's
+	// timeout_ms overrides it; 0 means no server-side default. A query
+	// that outlives its deadline is cancelled (candidate granularity) and
+	// answered with a structured HTTP 504 — never a hung connection.
+	Timeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +78,7 @@ func New(db *core.Database, opt Options) *Server {
 		s.sem = make(chan struct{}, opt.MaxInflight)
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/graphs", s.handleGraphs)
@@ -97,6 +105,11 @@ type QueryRequest struct {
 	Workers   int        `json:"workers,omitempty"`
 	K         int        `json:"k,omitempty"`        // /topk only
 	NoCache   bool       `json:"no_cache,omitempty"` // bypass the result cache
+	// TimeoutMS caps this request's evaluation time in milliseconds,
+	// overriding the server's default deadline (0 keeps the default). On
+	// expiry the endpoints answer a structured HTTP 504; /query/stream
+	// ends the NDJSON stream with an error line instead.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // StatsJSON reports the pipeline counters of one query (times in
@@ -170,6 +183,7 @@ type BatchRequest struct {
 	Seed       int64       `json:"seed,omitempty"`
 	Workers    int         `json:"workers,omitempty"`
 	NoCache    bool        `json:"no_cache,omitempty"`
+	TimeoutMS  int64       `json:"timeout_ms,omitempty"` // per-request deadline override
 }
 
 // BatchResponse is the /batch reply, results in input order.
@@ -209,12 +223,71 @@ type StatsResponse struct {
 	CacheEntries   int     `json:"cache_entries"`
 	CacheCap       int     `json:"cache_cap"`
 	Workers        int     `json:"workers"`
+	// DefaultTimeoutMS is the server's per-request deadline default
+	// (Options.Timeout); 0 means queries run unbounded unless the request
+	// sets timeout_ms.
+	DefaultTimeoutMS float64 `json:"default_timeout_ms"`
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// checkTimeoutMS validates the timeout_ms request knob: negative values
+// are malformed (rejected 400 by the caller, matching the CLI flags and
+// the ε/δ validation convention), 0 means "use the server default".
+func checkTimeoutMS(timeoutMS int64) error {
+	if timeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", timeoutMS)
+	}
+	return nil
+}
+
+// requestContext derives the evaluation context for one request: the
+// request's own context (cancelled when the client disconnects, and — when
+// pgserve wires http.Server.BaseContext to its shutdown context — when the
+// process is told to stop) bounded by the effective deadline: timeoutMS
+// when positive, else the server default. timeoutMS has been validated by
+// checkTimeoutMS.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.opt.Timeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return r.Context(), func() {}
+}
+
+// evalError maps an evaluation failure to the response. Deadline expiry is
+// a structured 504 with "timeout": true — the client gets a parseable
+// verdict, not a hung or reset connection. Plain cancellation means the
+// request context died: either the client disconnected (the 503 write
+// below lands nowhere, harmlessly) or the server is shutting down with
+// the client still attached — then the 503 tells it to retry elsewhere.
+// Everything else is an evaluation failure (422).
+func evalError(w http.ResponseWriter, what string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":   fmt.Sprintf("%s: deadline exceeded", what),
+			"timeout": true,
+		})
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":     fmt.Sprintf("%s: cancelled", what),
+			"cancelled": true,
+		})
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "%s: %v", what, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -344,6 +417,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
 	start := time.Now()
 	key := cacheKey("query", graph.CanonicalCode(q), opt, 0)
 
@@ -362,11 +441,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	release := s.acquire()
-	res, err := s.db.Query(q, opt)
+	res, err := s.db.QueryCtx(ctx, q, opt)
 	release()
 	if err != nil {
+		// Cancelled and timed-out evaluations return an error, so they can
+		// never reach the cache Put below — a dead query never poisons the
+		// result cache.
 		s.mu.RUnlock()
-		httpError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		evalError(w, "query failed", err)
 		return
 	}
 	if !req.NoCache {
@@ -396,6 +478,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
 	start := time.Now()
 	key := cacheKey("topk", graph.CanonicalCode(q), opt, req.K)
 
@@ -422,11 +510,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	release := s.acquire()
-	items, err := s.db.QueryTopK(q, req.K, opt)
+	items, err := s.db.QueryTopKCtx(ctx, q, req.K, opt)
 	release()
 	if err != nil {
 		s.mu.RUnlock()
-		httpError(w, http.StatusUnprocessableEntity, "topk failed: %v", err)
+		evalError(w, "topk failed", err)
 		return
 	}
 	if !req.NoCache {
@@ -472,6 +560,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
 	start := time.Now()
 
 	// Batch member i is definitionally Query with seed BatchSeed(seed, i),
@@ -521,11 +615,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	release := s.acquire()
-	results, err := s.db.QueryBatch(qs, opt)
+	results, err := s.db.QueryBatchCtx(ctx, qs, opt)
 	release()
 	if err != nil {
 		s.mu.RUnlock()
-		httpError(w, http.StatusUnprocessableEntity, "batch failed: %v", err)
+		evalError(w, "batch failed", err)
 		return
 	}
 	out := BatchResponse{TimeMS: float64(time.Since(start).Microseconds()) / 1000}
@@ -579,6 +673,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: s.cache.Len(),
 		CacheCap:     s.opt.CacheSize,
 		Workers:      s.opt.Workers,
+
+		DefaultTimeoutMS: float64(s.opt.Timeout.Microseconds()) / 1000,
 	}
 	if s.db.PMI != nil {
 		resp.PMIFeatures = s.db.PMI.NumFeatures()

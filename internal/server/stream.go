@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// streamWriteTimeout is the per-write deadline of /query/stream responses,
+// replacing the http.Server's whole-response WriteTimeout (which a long
+// stream may legitimately outlive): every match line gets this long to
+// reach the client before the connection is reclaimed as dead.
+const streamWriteTimeout = 30 * time.Second
+
+// StreamMatchJSON is one /query/stream NDJSON line: a verified answer,
+// written (and flushed) the moment the prune+verify stage admitted it.
+// SSP carries the verified estimate, or -1 for direct lower-bound accepts
+// — exactly the library's Match.
+type StreamMatchJSON struct {
+	Graph int     `json:"graph"`
+	Name  string  `json:"name"`
+	SSP   float64 `json:"ssp"`
+}
+
+// StreamSummaryJSON is the final /query/stream line. Answers is the
+// complete answer set re-sorted ascending — bitwise equal to /query's
+// answers field for the same request — so a client that only tails the
+// last line still gets the full deterministic result. SSP covers the
+// answers only (what the match lines carried); unlike /query's ssp map it
+// has no entries for verified candidates that fell below ε.
+type StreamSummaryJSON struct {
+	Done    bool            `json:"done"`
+	Answers []int           `json:"answers"`
+	SSP     map[int]float64 `json:"ssp"`
+	Count   int             `json:"count"`
+	TimeMS  float64         `json:"time_ms"`
+}
+
+// StreamErrorJSON ends a stream that could not complete. Timeout marks
+// deadline expiry and Cancelled plain cancellation (server shutdown with
+// the client still attached — or a disconnect, where the line lands
+// nowhere, harmlessly): the non-streaming endpoints' structured 504/503,
+// folded into the NDJSON protocol — the status line is long gone by then.
+type StreamErrorJSON struct {
+	Error     string `json:"error"`
+	Timeout   bool   `json:"timeout,omitempty"`
+	Cancelled bool   `json:"cancelled,omitempty"`
+}
+
+// streamItem is one element of the evaluation→delivery hand-off queue:
+// a resolved match line or the stream's terminal error.
+type streamItem struct {
+	m   StreamMatchJSON
+	err error
+}
+
+// streamQueue is the unbounded hand-off between the evaluation goroutine
+// and the response writer: pushes never block (the evaluator must never
+// wait on a slow client — that is what keeps the database read lock's
+// hold time bounded by evaluation alone), memory grows with the actual
+// match count rather than a db.Len()-sized preallocation, and pop blocks
+// on a 1-buffered wake-up channel until an item or close arrives.
+type streamQueue struct {
+	mu     sync.Mutex
+	items  []streamItem
+	head   int
+	closed bool
+	wake   chan struct{}
+}
+
+func newStreamQueue() *streamQueue {
+	return &streamQueue{wake: make(chan struct{}, 1)}
+}
+
+func (sq *streamQueue) signal() {
+	select {
+	case sq.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (sq *streamQueue) push(it streamItem) {
+	sq.mu.Lock()
+	sq.items = append(sq.items, it)
+	sq.mu.Unlock()
+	sq.signal()
+}
+
+func (sq *streamQueue) close() {
+	sq.mu.Lock()
+	sq.closed = true
+	sq.mu.Unlock()
+	sq.signal()
+}
+
+// pop returns the next item, or ok=false once the queue is closed and
+// drained.
+func (sq *streamQueue) pop() (it streamItem, ok bool) {
+	for {
+		sq.mu.Lock()
+		if sq.head < len(sq.items) {
+			it = sq.items[sq.head]
+			sq.items[sq.head] = streamItem{} // release for GC
+			sq.head++
+			if sq.head == len(sq.items) {
+				sq.items, sq.head = sq.items[:0], 0
+			}
+			sq.mu.Unlock()
+			return it, true
+		}
+		closed := sq.closed
+		sq.mu.Unlock()
+		if closed {
+			return streamItem{}, false
+		}
+		<-sq.wake
+	}
+}
+
+// handleQueryStream is POST /query/stream: the /query pipeline with
+// incremental NDJSON delivery. Each verified match is written and flushed
+// as verification confirms it — arrival order, which is the one
+// scheduling-dependent aspect of the engine — followed by a summary line
+// carrying the sorted answer set. Client disconnect cancels the query via
+// r.Context(); timeout_ms (or the server default deadline) bounds it.
+//
+// Two deliberate differences from /query:
+//   - The result cache is bypassed entirely. A stream can be abandoned or
+//     cancelled halfway, and a partial answer set must never be mistaken
+//     for a complete cached result; rather than cache only the happy path
+//     the endpoint stays cache-free and leaves caching to /query.
+//   - Evaluation and delivery are decoupled. The database read lock (and
+//     the inflight slot) is held by an evaluation goroutine only while
+//     the engine runs — the same discipline as /query — and matches flow
+//     to the response writer through an unbounded queue whose pushes
+//     never block, so the evaluator can never wait on a slow client. A
+//     stalled consumer therefore costs a connection (reclaimed by the
+//     per-write deadline), never the lock: /graphs ingestion and every
+//     other endpoint stay live.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K != 0 {
+		httpError(w, http.StatusBadRequest, "k is not supported on /query/stream")
+		return
+	}
+	q, err := parseGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+
+	// Evaluation goroutine: takes the read lock and an inflight slot,
+	// runs the stream, resolves names (which need the lock — /graphs may
+	// grow Graphs later), and releases both the moment evaluation ends.
+	// The queue absorbs matches without ever blocking the evaluator, so
+	// the lock hold is bounded by the evaluation itself (which ctx
+	// bounds), never by the client.
+	s.mu.RLock()
+	s.queries.Add(1)
+	release := s.acquire()
+	queue := newStreamQueue()
+	go func() {
+		defer queue.close()
+		defer s.mu.RUnlock()
+		defer release()
+		for m, err := range s.db.QueryStream(ctx, q, opt) {
+			if err != nil {
+				queue.push(streamItem{err: err})
+				return
+			}
+			queue.push(streamItem{m: StreamMatchJSON{
+				Graph: m.Graph, Name: s.db.Graphs[m.Graph].G.Name(), SSP: m.SSP,
+			}})
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	emit := func(v any) bool {
+		// A stream may legitimately outlive the http.Server's blanket
+		// WriteTimeout (sized for one-shot responses), so each write gets
+		// its own fresh deadline instead: generous enough for any live
+		// client, finite so a stuck connection is still reclaimed. Not
+		// every ResponseWriter supports per-request deadlines (
+		// ErrNotSupported); then the server-wide timeout keeps applying.
+		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		// A flush failure means the client is gone; r.Context() is
+		// cancelled on disconnect, which ends the evaluation goroutine,
+		// so the error itself needs no handling here.
+		rc.Flush()
+		return true
+	}
+
+	answers := []int{}
+	ssp := make(map[int]float64)
+	for {
+		it, ok := queue.pop()
+		if !ok {
+			break
+		}
+		if it.err != nil {
+			// On plain cancellation the client is either gone (the line
+			// lands nowhere) or watching a graceful shutdown — then the
+			// in-band cancelled marker is its cue to retry elsewhere,
+			// mirroring the non-stream endpoints' 503.
+			emit(StreamErrorJSON{
+				Error:     "stream failed: " + it.err.Error(),
+				Timeout:   errors.Is(it.err, context.DeadlineExceeded),
+				Cancelled: errors.Is(it.err, context.Canceled),
+			})
+			return
+		}
+		if !emit(it.m) {
+			return // evaluation goroutine finishes on its own; pushes never block
+		}
+		answers = append(answers, it.m.Graph)
+		ssp[it.m.Graph] = it.m.SSP
+	}
+	sort.Ints(answers)
+	emit(StreamSummaryJSON{
+		Done:    true,
+		Answers: answers,
+		SSP:     ssp,
+		Count:   len(answers),
+		TimeMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

@@ -1,6 +1,8 @@
 package simsearch
 
 import (
+	"context"
+
 	"probgraph/internal/graph"
 	"probgraph/internal/pool"
 )
@@ -118,6 +120,18 @@ func (ix *Index) rebuildPostings() {
 // GOMAXPROCS); the result is identical at every worker count and equal to
 // CandidatesDense.
 func (ix *Index) Candidates(q *graph.Graph, delta, workers int) []int {
+	out, _ := ix.CandidatesCtx(context.Background(), q, delta, workers)
+	return out
+}
+
+// CandidatesCtx is Candidates with cooperative cancellation at shard
+// granularity: ctx is checked before each postings shard is scanned, and a
+// cancelled scan returns (nil, ctx.Err()) — never a partial candidate
+// list. An uncancelled run returns exactly Candidates' answer.
+func (ix *Index) CandidatesCtx(ctx context.Context, q *graph.Graph, delta, workers int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cq, budget := ix.queryProfile(q, delta)
 	total := 0
 	for _, c := range cq {
@@ -132,17 +146,20 @@ func (ix *Index) Candidates(q *graph.Graph, delta, workers int) []int {
 		for gi := range out {
 			out[gi] = gi
 		}
-		return out
+		return out, nil
 	}
 	outs := make([][]int, len(ix.shards))
-	pool.ForEachIndex(len(ix.shards), pool.Normalize(workers, len(ix.shards)), func(si int) {
+	err := pool.ForEachIndexCtx(ctx, len(ix.shards), pool.Normalize(workers, len(ix.shards)), func(si int) {
 		outs[si] = ix.shards[si].scan(cq, need)
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []int
 	for _, part := range outs {
 		out = append(out, part...)
 	}
-	return out
+	return out, nil
 }
 
 // PostingsStats reports the inverted index shape: the number of shards and

@@ -24,6 +24,7 @@ package simsearch
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -330,15 +331,30 @@ func (ix *Index) Confirm(q *graph.Graph, gi, delta int) bool {
 // confirmations run on a pool of `workers` goroutines (0/1 serial,
 // negative GOMAXPROCS); results are identical at every worker count.
 func (ix *Index) SCq(q *graph.Graph, delta, workers int) (confirmed []int, filterCandidates int) {
-	cand := ix.Candidates(q, delta, workers)
+	confirmed, filterCandidates, _ = ix.SCqCtx(context.Background(), q, delta, workers)
+	return confirmed, filterCandidates
+}
+
+// SCqCtx is SCq with cooperative cancellation: the postings scan cancels
+// at shard granularity, the exact confirmations at candidate granularity.
+// A cancelled call returns (nil, 0, ctx.Err()) — never a partial candidate
+// set; an uncancelled call returns exactly SCq's answer and a nil error.
+func (ix *Index) SCqCtx(ctx context.Context, q *graph.Graph, delta, workers int) (confirmed []int, filterCandidates int, err error) {
+	cand, err := ix.CandidatesCtx(ctx, q, delta, workers)
+	if err != nil {
+		return nil, 0, err
+	}
 	ok := make([]bool, len(cand))
-	pool.ForEachIndex(len(cand), pool.Normalize(workers, len(cand)), func(i int) {
+	err = pool.ForEachIndexCtx(ctx, len(cand), pool.Normalize(workers, len(cand)), func(i int) {
 		ok[i] = ix.Confirm(q, cand[i], delta)
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	for i, gi := range cand {
 		if ok[i] {
 			confirmed = append(confirmed, gi)
 		}
 	}
-	return confirmed, len(cand)
+	return confirmed, len(cand), nil
 }

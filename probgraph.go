@@ -31,7 +31,26 @@
 //
 //	db, _ := probgraph.NewDatabase([]*probgraph.PGraph{pg},
 //	    probgraph.DefaultBuildOptions())
-//	res, _ := db.Query(query, probgraph.QueryOptions{Epsilon: 0.5, Delta: 1})
+//	res, _ := db.QueryCtx(ctx, query,
+//	    probgraph.QueryOptions{Epsilon: 0.5, Delta: 1})
+//
+// # Contexts and streaming
+//
+// Every query entry point has a context-first form — QueryCtx,
+// QueryTopKCtx, QueryBatchCtx — that threads ctx through the whole
+// pipeline: cancellation (or a deadline) is checked per postings shard,
+// per exact confirmation, and per candidate evaluation, so a cancelled
+// query returns ctx.Err() promptly, leaks no goroutines, and never
+// returns a partial result. The context-free forms remain thin
+// context.Background() wrappers with unchanged behavior.
+//
+// Database.QueryStream delivers answers incrementally: it yields each
+// verified Match the moment the prune+verify stage admits it, in arrival
+// order, as an iter.Seq2[Match, error]. The collected stream, re-sorted
+// by graph index, is bitwise-identical to Query's answer set and SSP
+// estimates at every worker count — arrival order is the only
+// scheduling-dependent aspect. Breaking out of the loop early cancels and
+// joins the internal workers before the iterator returns.
 //
 // # Concurrency
 //
@@ -177,6 +196,17 @@ func BatchSeed(seed int64, i int) int64 { return core.BatchSeed(seed, i) }
 // the highest subgraph similarity probability, verified in decreasing
 // upper-bound order with bound-based early termination.
 type TopKItem = core.TopKItem
+
+// Match is one incremental answer of Database.QueryStream: the matching
+// graph's database index and its SSP (-1 when the graph was admitted by a
+// lower bound without re-estimation, mirroring Result.SSP).
+//
+// Database.QueryCtx, QueryTopKCtx, QueryBatchCtx (on the aliased core
+// type) are the context-first forms of the query API; QueryStream(ctx, q,
+// opt) yields Matches in verification-arrival order as an
+// iter.Seq2[Match, error]. See the package comment's "Contexts and
+// streaming" section for the cancellation and determinism contracts.
+type Match = core.Match
 
 // PMIIndex is the probabilistic matrix index; Database.PMI exposes it and
 // SavePMI/LoadPMI persist it independently of the data.

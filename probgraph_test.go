@@ -2,7 +2,11 @@ package probgraph_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"probgraph"
@@ -129,5 +133,74 @@ func TestPublicAPIRoadGrid(t *testing.T) {
 	}
 	if pg.G.NumVertices() != 9 || pg.G.NumEdges() != 12 {
 		t.Fatalf("grid shape %d/%d", pg.G.NumVertices(), pg.G.NumEdges())
+	}
+}
+
+// TestPublicAPIContextAndStream drives the context-first surface through
+// the public package: QueryCtx equals Query, a dead context is reported as
+// ctx.Err(), and the collected QueryStream re-sorted by graph index equals
+// Query's answers and SSP estimates.
+func TestPublicAPIContextAndStream(t *testing.T) {
+	raw, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+		NumGraphs: 10, MinVertices: 6, MaxVertices: 8,
+		Organisms: 3, Correlated: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := probgraph.DefaultBuildOptions()
+	opt.Feature.Beta = 0.2
+	opt.Feature.MaxL = 3
+	db, err := probgraph.NewDatabase(raw.Graphs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	q := probgraph.ExtractQuery(raw.Graphs[0].G, 4, rng)
+	qo := probgraph.QueryOptions{Epsilon: 0.3, Delta: 2, OptBounds: true, Seed: 2, Concurrency: 4}
+
+	want, err := db.Query(q, qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.QueryCtx(context.Background(), q, qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers, want.Answers) || !reflect.DeepEqual(got.SSP, want.SSP) {
+		t.Fatalf("QueryCtx diverged from Query: %v/%v vs %v/%v",
+			got.Answers, got.SSP, want.Answers, want.SSP)
+	}
+
+	var matches []probgraph.Match
+	for m, err := range db.QueryStream(context.Background(), q, qo) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches = append(matches, m)
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Graph < matches[j].Graph })
+	if len(matches) != len(want.Answers) {
+		t.Fatalf("stream yielded %d matches, Query %d answers", len(matches), len(want.Answers))
+	}
+	for i, m := range matches {
+		if m.Graph != want.Answers[i] {
+			t.Fatalf("sorted stream[%d] = %d, want %d", i, m.Graph, want.Answers[i])
+		}
+		if ssp, ok := want.SSP[m.Graph]; ok && m.SSP != ssp {
+			t.Fatalf("stream SSP[%d] = %v, want %v", m.Graph, m.SSP, ssp)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCtx(ctx, q, qo); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.QueryTopKCtx(ctx, q, 3, qo); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context topk: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.QueryBatchCtx(ctx, []*probgraph.Graph{q}, qo); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context batch: err = %v, want context.Canceled", err)
 	}
 }
