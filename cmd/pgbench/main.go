@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter]
-//	        [-workers N] [-seed N] [-json out.json]
+//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter|churn]
+//	        [-workers N] [-seed N] [-json out.json] [-churn rates]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
 // shape of each series (see EXPERIMENTS.md).
@@ -13,10 +13,13 @@
 // -workers N runs every query's candidate pipeline on a pool of N
 // goroutines (results are unchanged; only timings move). -fig scaling
 // prints a dedicated parallel-speedup table sweeping the worker count,
-// and -fig filter profiles the structural phase — the inverted-postings
-// scan against the dense count-matrix oracle — as the database grows;
-// neither is part of the paper's evaluation, so -fig all (the default)
-// covers the paper figures only and both must be requested explicitly.
+// -fig filter profiles the structural phase — the inverted-postings
+// scan against the dense count-matrix oracle — as the database grows,
+// and -fig churn profiles query p50/p99 latency while a background
+// writer mutates the database (add/remove) at each of the -churn rates;
+// none of these is part of the paper's evaluation, so -fig all (the
+// default) covers the paper figures only and they must be requested
+// explicitly.
 //
 // -json out.json additionally writes every produced table as
 // machine-readable series — figure name, headers, raw rows, per-column
@@ -58,10 +61,12 @@ type figureJSON struct {
 
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
-	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter (extra, never implied by all)")
+	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter/churn (extra, never implied by all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
+	churnRates := flag.String("churn", "0,20,100",
+		"comma-separated background mutation rates (mutations/s) for -fig churn")
 	flag.Parse()
 
 	start := time.Now()
@@ -71,8 +76,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("database: %d graphs, %d PMI features, index built in %v\n\n",
-		env.DB.Len(), env.DB.Build.Features,
-		env.DB.Build.FeatureTime+env.DB.Build.PMITime+env.DB.Build.StructTime)
+		env.DB.Len(), env.DB.Build().Features,
+		env.DB.Build().FeatureTime+env.DB.Build().PMITime+env.DB.Build().StructTime)
 
 	var figures []figureJSON
 	want := func(name string) bool {
@@ -139,6 +144,13 @@ func main() {
 	}
 	if strings.EqualFold(*fig, "filter") {
 		run("filter", one(func() (*stats.Table, error) { return env.Filter(nil) }))
+	}
+	if strings.EqualFold(*fig, "churn") {
+		rates, err := parseRates(*churnRates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run("churn", one(func() (*stats.Table, error) { return env.Churn(rates) }))
 	}
 
 	if *jsonPath != "" {
@@ -207,4 +219,25 @@ func tableJSON(name string, t *stats.Table, wallMS float64) figureJSON {
 // tables use (q50 → 50 is NOT parsed; "12.5" and "3e-2" are).
 func parseCell(s string) (float64, error) {
 	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// parseRates reads the -churn flag: comma-separated non-negative
+// mutations-per-second values.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(tok, 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("pgbench: bad -churn rate %q", tok)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pgbench: -churn lists no rates")
+	}
+	return out, nil
 }

@@ -122,8 +122,8 @@ func main() {
 			log.Fatal(err)
 		}
 		feats := 0
-		if idxDB.PMI != nil {
-			feats = idxDB.PMI.NumFeatures()
+		if idxDB.PMI() != nil {
+			feats = idxDB.PMI().NumFeatures()
 		}
 		fmt.Fprintf(os.Stderr, "pggen: wrote snapshot (%d PMI features) to %s\n", feats, *saveSnap)
 	}

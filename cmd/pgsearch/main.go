@@ -158,7 +158,7 @@ func main() {
 			say("loaded PMI index from %s (%d features)\n", *loadIndex, idx.NumFeatures())
 		}
 		say("indexed in %v: %d PMI features, %.1f KB index\n\n",
-			time.Since(start), db.PMI.NumFeatures(), float64(db.Build.IndexSizeBytes)/1024)
+			time.Since(start), db.PMI().NumFeatures(), float64(db.Build().IndexSizeBytes)/1024)
 	}
 	if *saveSnap != "" {
 		f, err := os.Create(*saveSnap)
@@ -174,14 +174,14 @@ func main() {
 		say("saved snapshot to %s\n", *saveSnap)
 	}
 	if *saveIndex != "" {
-		if db.PMI == nil {
+		if db.PMI() == nil {
 			log.Fatal("pgsearch: no PMI to save")
 		}
 		idxFile, err := os.Create(*saveIndex)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := db.PMI.Save(idxFile); err != nil {
+		if err := db.PMI().Save(idxFile); err != nil {
 			log.Fatal(err)
 		}
 		idxFile.Close()
@@ -219,7 +219,7 @@ func main() {
 		rng := rand.New(rand.NewSource(*seed))
 		qs = make([]*probgraph.Graph, *queries)
 		for i := range qs {
-			src := db.Graphs[(*qfrom+i)%db.Len()].G
+			src := db.Graphs()[(*qfrom+i)%db.Len()].G
 			qs[i] = probgraph.ExtractQuery(src, *qsize, rng)
 		}
 	}
@@ -303,7 +303,7 @@ func main() {
 				if ssp == -1 {
 					tag = "accepted by lower bound"
 				}
-				fmt.Printf("  q%d → %s (%s)\n", i, db.Graphs[gi].G.Name(), tag)
+				fmt.Printf("  q%d → %s (%s)\n", i, db.Graphs()[gi].G.Name(), tag)
 			}
 		}
 	}
@@ -349,7 +349,7 @@ func runStream(ctx context.Context, db *probgraph.Database, qs []*probgraph.Grap
 				log.Fatal(err)
 			}
 			if err := enc.Encode(streamMatchJSON{
-				Query: i, Graph: m.Graph, Name: db.Graphs[m.Graph].G.Name(), SSP: m.SSP,
+				Query: i, Graph: m.Graph, Name: db.Graphs()[m.Graph].G.Name(), SSP: m.SSP,
 			}); err != nil {
 				log.Fatal(err)
 			}
@@ -394,7 +394,7 @@ func printJSON(qs []*probgraph.Graph, results []*probgraph.Result, db *probgraph
 		}
 		names := make([]string, len(answers))
 		for k, gi := range answers {
-			names[k] = db.Graphs[gi].G.Name()
+			names[k] = db.Graphs()[gi].G.Name()
 		}
 		out.Results = append(out.Results, queryJSON{
 			Query: i, Edges: qs[i].NumEdges(),

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pgserve -snapshot db.idx [-addr :8091] [-cache 256] [-workers -1]
-//	        [-inflight 0] [-timeout 0]
+//	        [-inflight 0] [-timeout 0] [-compact-threshold 0.5]
 //	pgserve -db db.pgraph ...   (build the index at startup instead)
 //
 // With -snapshot (written by pgsearch -savesnap, pggen -savesnap, or
@@ -23,9 +23,20 @@
 //	                    line with the sorted answer set
 //	POST /topk          ranked top-k variant (adds k)
 //	POST /batch         many queries, one option set, per-member derived seeds
-//	POST /graphs        incremental AddGraph ingestion (pgraph JSON or text)
-//	GET  /stats         server + cache counters
+//	POST   /graphs      incremental AddGraph ingestion (pgraph JSON or text)
+//	DELETE /graphs/{id} RemoveGraph: tombstones the slot, indices stay stable
+//	PUT    /graphs/{id} ReplaceGraph: swaps the slot's graph (re-scored JPTs)
+//	GET  /stats         server + cache counters, generation, live/tombstoned
 //	GET  /healthz       liveness probe
+//
+// The database is generation-numbered: every query pins the current view,
+// so mutations never block queries and a query never sees a half-applied
+// mutation; result-cache entries are keyed by generation (no purge on
+// mutation). One structured log line records each mutation's old→new
+// generation. -compact-threshold controls auto-compaction: once more than
+// that fraction of slots is tombstoned, the triggering mutation also
+// compacts the database — dropping tombstones and renumbering graph
+// indices (its response carries "compacted": true).
 //
 // Every request runs under a context: the client disconnecting, the
 // request's timeout_ms (or the -timeout default) expiring, or pgserve
@@ -64,6 +75,8 @@ func main() {
 	workers := flag.Int("workers", -1, "default per-query worker pool (<0 = GOMAXPROCS)")
 	inflight := flag.Int("inflight", 0, "max concurrently evaluated queries (0 = 2×GOMAXPROCS, <0 unbounded)")
 	timeout := flag.Duration("timeout", 0, "default per-request evaluation deadline (0 = none; requests override via timeout_ms)")
+	compactThreshold := flag.Float64("compact-threshold", 0.5,
+		"auto-compact once tombstoned/total slots exceeds this fraction (renumbers graph indices; <=0 disables)")
 	flag.Parse()
 
 	if (*snapshot == "") == (*dbPath == "") {
@@ -73,6 +86,10 @@ func main() {
 	}
 	if *timeout < 0 {
 		fmt.Fprintf(os.Stderr, "pgserve: -timeout must be >= 0, got %v\n", *timeout)
+		os.Exit(2)
+	}
+	if *compactThreshold > 1 {
+		fmt.Fprintf(os.Stderr, "pgserve: -compact-threshold must be <= 1, got %v\n", *compactThreshold)
 		os.Exit(2)
 	}
 
@@ -109,9 +126,17 @@ func main() {
 			*dbPath, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
 	}
 
+	db.SetCompactThreshold(*compactThreshold)
 	srv := server.New(db, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, MaxInflight: *inflight,
 		Timeout: *timeout,
+		// One structured line per committed mutation: old→new generation,
+		// resulting shape, and whether auto-compaction renumbered indices.
+		MutationLog: func(ev server.MutationEvent) {
+			log.Printf("mutation op=%s index=%d gen=%d->%d live=%d tombstoned=%d compacted=%t",
+				ev.Op, ev.Index, ev.OldGeneration, ev.NewGeneration,
+				ev.LiveGraphs, ev.Tombstoned, ev.Compacted)
+		},
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -154,8 +179,8 @@ func main() {
 }
 
 func pmiFeatures(db *core.Database) int {
-	if db.PMI == nil {
+	if db.PMI() == nil {
 		return 0
 	}
-	return db.PMI.NumFeatures()
+	return db.PMI().NumFeatures()
 }

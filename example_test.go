@@ -29,7 +29,7 @@ func ExampleNewDatabase() {
 		panic(err)
 	}
 	for _, gi := range res.Answers {
-		fmt.Println(db.Graphs[gi].G.Name())
+		fmt.Println(db.Graphs()[gi].G.Name())
 	}
 	// Output: 002
 }
@@ -83,7 +83,7 @@ func ExampleDatabase_QueryTopK() {
 		panic(err)
 	}
 	// The first graph's certain structure, as a query against the database.
-	q := db.Certain[0]
+	q := db.Certain()[0]
 	top, err := db.QueryTopK(q, 1, probgraph.QueryOptions{
 		Delta: 1, Verifier: probgraph.VerifierSMP,
 		Verify: probgraph.VerifyOptions{N: 2000}, Seed: 1,

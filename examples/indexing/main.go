@@ -38,22 +38,22 @@ func main() {
 	plainDB := build(false)
 
 	fmt.Printf("OPT-SIPBound index: %d features, %d bytes, built in %v (mining %v + PMI %v)\n",
-		optDB.Build.Features, optDB.Build.IndexSizeBytes,
-		optDB.Build.FeatureTime+optDB.Build.PMITime, optDB.Build.FeatureTime, optDB.Build.PMITime)
-	fmt.Printf("SIPBound index:     %d features, %d bytes\n\n", plainDB.Build.Features, plainDB.Build.IndexSizeBytes)
+		optDB.Build().Features, optDB.Build().IndexSizeBytes,
+		optDB.Build().FeatureTime+optDB.Build().PMITime, optDB.Build().FeatureTime, optDB.Build().PMITime)
+	fmt.Printf("SIPBound index:     %d features, %d bytes\n\n", plainDB.Build().Features, plainDB.Build().IndexSizeBytes)
 
 	// The PMI matrix view (paper Figure 4) for the first few features and
 	// graphs: ⟨LowerB, UpperB⟩ for contained features, ⟨0⟩ otherwise.
 	table := stats.NewTable("PMI matrix excerpt (rows = features, cols = graphs 0-5)",
 		"feature", "g0", "g1", "g2", "g3", "g4", "g5")
-	maxRows := optDB.PMI.NumFeatures()
+	maxRows := optDB.PMI().NumFeatures()
 	if maxRows > 8 {
 		maxRows = 8
 	}
 	for fi := 0; fi < maxRows; fi++ {
-		cells := []interface{}{fmt.Sprintf("f%d(%de)", fi, optDB.PMI.Features[fi].NumEdges())}
+		cells := []interface{}{fmt.Sprintf("f%d(%de)", fi, optDB.PMI().Features[fi].NumEdges())}
 		for gi := 0; gi < 6 && gi < len(raw.Graphs); gi++ {
-			e := optDB.PMI.Entries[fi][gi]
+			e := optDB.PMI().Entries[fi][gi]
 			if !e.Contained {
 				cells = append(cells, "<0>")
 			} else {
@@ -68,9 +68,9 @@ func main() {
 	// Bound tightness: average width of contained entries per variant.
 	width := func(db *probgraph.Database) (float64, int) {
 		total, n := 0.0, 0
-		for fi := range db.PMI.Entries {
-			for gi := range db.PMI.Entries[fi] {
-				e := db.PMI.Entries[fi][gi]
+		for fi := range db.PMI().Entries {
+			for gi := range db.PMI().Entries[fi] {
+				e := db.PMI().Entries[fi][gi]
 				if e.Contained {
 					total += e.Upper - e.Lower
 					n++

@@ -54,7 +54,7 @@ func main() {
 	}
 	corDB := build(raw)
 	indDB := build(indRaw)
-	fmt.Printf("Indexed: %d PMI features (COR), %d (IND)\n\n", corDB.Build.Features, indDB.Build.Features)
+	fmt.Printf("Indexed: %d PMI features (COR), %d (IND)\n\n", corDB.Build().Features, indDB.Build().Features)
 
 	// Part 1: one threshold query in detail on the correlated model.
 	rng := rand.New(rand.NewSource(3))

@@ -35,13 +35,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("Indexed: %d PMI features, %d bytes of index\n\n",
-		db.Build.Features, db.Build.IndexSizeBytes)
+		db.Build().Features, db.Build().IndexSizeBytes)
 
 	// The subgraph similarity probability of q against each graph, by
 	// exhaustive possible-world enumeration (the naive Section 1.1
 	// algorithm — feasible only because these graphs are tiny).
 	const delta = 1
-	for gi, pg := range db.Graphs {
+	for gi, pg := range db.Graphs() {
 		ssp, err := db.ExactSSPByEnumeration(q, gi, delta)
 		if err != nil {
 			log.Fatal(err)
@@ -66,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("T-PS query ε=%.2f δ=%d answers: ", epsilon, delta)
 	for _, gi := range res.Answers {
-		fmt.Printf("%s ", db.Graphs[gi].G.Name())
+		fmt.Printf("%s ", db.Graphs()[gi].G.Name())
 	}
 	fmt.Println()
 	fmt.Printf("pipeline: %d structural candidates, %d pruned by Usim, %d accepted by Lsim, %d verified\n",

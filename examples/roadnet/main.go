@@ -47,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Indexed %d districts, %d route features mined\n\n", len(graphs), db.Build.Features)
+	fmt.Printf("Indexed %d districts, %d route features mined\n\n", len(graphs), db.Build().Features)
 
 	// Route pattern: an L-shaped connection through the center zone —
 	// suburb → center → center → suburb.

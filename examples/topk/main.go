@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("indexed %d graphs (%d features)\n\n", db.Len(), db.Build.Features)
+	fmt.Printf("indexed %d graphs (%d features)\n\n", db.Len(), db.Build().Features)
 
 	rng := rand.New(rand.NewSource(2))
 	q := probgraph.ExtractQuery(raw.Seeds[1], 5, rng)

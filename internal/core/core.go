@@ -2,10 +2,20 @@
 // pruning over the certain graphs, probabilistic pruning through the PMI
 // index (SSPBound / OPT-SSPBound over SIPBound / OPT-SIPBound entries), and
 // Monte-Carlo or exact verification (paper §1.2).
+//
+// The database is a first-class mutable store built from immutable,
+// generation-numbered views: every query entry point pins the current View
+// and runs against it untouched while AddGraph / RemoveGraph /
+// ReplaceGraph build the next view copy-on-write under a writer lock —
+// mutations never block readers and readers never block mutations. See
+// the View type for the full contract.
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"probgraph/internal/feature"
@@ -44,9 +54,30 @@ type BuildStats struct {
 	IndexSizeBytes int
 }
 
-// Database is an indexed probabilistic graph database ready for T-PS
-// queries.
-type Database struct {
+// View is one immutable, generation-numbered state of a Database. Every
+// query entry point pins the current view at its start and runs against it
+// untouched, so a query observes one consistent database no matter how
+// many mutations commit while it runs — and its results are
+// bitwise-identical to running the same query before the mutation.
+//
+// Slots and tombstones: graphs occupy slots 0..Len()-1, and a slot's
+// index is the graph index queries report. RemoveGraph tombstones a slot
+// — the postings and PMI keep its entries, every scan filters it — so
+// surviving indices are stable across removals. Compact drops the
+// tombstones and renumbers the survivors contiguously (in slot order),
+// realigning per-candidate query seeding with a fresh NewDatabase over
+// the surviving graphs; the mined feature vocabulary is carried over
+// (remapped), not re-mined, so only the PMI pruning phase can differ
+// from a truly fresh build — never the answer set it is sound against.
+//
+// A View is safe for unbounded concurrent use and never changes; pin one
+// with Database.View to run a multi-query analysis against a single
+// consistent state.
+type View struct {
+	// Generation numbers this view; NewDatabase starts at 1 and every
+	// committed mutation increments it.
+	Generation uint64
+
 	Graphs  []*prob.PGraph
 	Engines []*prob.Engine
 	Certain []*graph.Graph
@@ -57,99 +88,452 @@ type Database struct {
 
 	Build BuildStats
 	opt   BuildOptions
+
+	// live marks which slots hold live graphs (nil = all live);
+	// liveCount counts them.
+	live      []bool
+	liveCount int
+}
+
+// Len returns the number of slots, tombstoned ones included — the
+// exclusive upper bound of graph indices.
+func (v *View) Len() int { return len(v.Graphs) }
+
+// NumLive returns the number of live (non-tombstoned) graphs.
+func (v *View) NumLive() int { return v.liveCount }
+
+// Tombstones returns the number of tombstoned slots.
+func (v *View) Tombstones() int { return len(v.Graphs) - v.liveCount }
+
+// Live reports whether slot gi holds a live graph.
+func (v *View) Live(gi int) bool { return v.live == nil || v.live[gi] }
+
+// Options returns the build options the database was constructed with.
+func (v *View) Options() BuildOptions { return v.opt }
+
+// Database is an indexed probabilistic graph database ready for T-PS
+// queries. It holds the current View behind an atomic pointer; queries pin
+// it wait-free while the mutation API (AddGraph, RemoveGraph,
+// ReplaceGraph, Compact) builds successor views under the writer lock.
+// All methods are safe for concurrent use.
+type Database struct {
+	cur atomic.Pointer[View]
+
+	// mu is the writer lock: it serializes mutations (which read the
+	// current view, build its copy-on-write successor, and publish it)
+	// and is never taken by a query — readers never block on a writer.
+	mu sync.Mutex
+
+	// compactThreshold (guarded by mu) triggers automatic compaction
+	// after a mutation once Tombstones() > threshold × Len(); 0 disables
+	// auto-compaction (Compact stays available).
+	compactThreshold float64
 }
 
 // NewDatabase indexes the given probabilistic graphs: it builds per-graph
 // inference engines, mines PMI features, constructs the PMI, and prepares
-// the structural filter.
+// the structural filter. The database starts at generation 1.
 func NewDatabase(graphs []*prob.PGraph, opt BuildOptions) (*Database, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
-	db := &Database{Graphs: graphs, opt: opt}
+	v := &View{Generation: 1, Graphs: graphs, opt: opt, liveCount: len(graphs)}
 	for i, pg := range graphs {
 		eng, err := prob.NewEngine(pg)
 		if err != nil {
 			return nil, fmt.Errorf("core: graph %d: %w", i, err)
 		}
-		db.Engines = append(db.Engines, eng)
-		db.Certain = append(db.Certain, pg.G)
+		v.Engines = append(v.Engines, eng)
+		v.Certain = append(v.Certain, pg.G)
 	}
 
 	t0 := time.Now()
-	sf := simsearch.DefaultFeatures(db.Certain, opt.StructFeatures)
-	db.Struct = simsearch.BuildIndex(db.Certain, sf)
-	db.Build.StructTime = time.Since(t0)
+	sf := simsearch.DefaultFeatures(v.Certain, opt.StructFeatures)
+	v.Struct = simsearch.BuildIndex(v.Certain, sf)
+	v.Build.StructTime = time.Since(t0)
 
 	t1 := time.Now()
-	db.Features = feature.Mine(db.Certain, opt.Feature)
-	db.Build.FeatureTime = time.Since(t1)
-	db.Build.Features = len(db.Features)
+	v.Features = feature.Mine(v.Certain, opt.Feature)
+	v.Build.FeatureTime = time.Since(t1)
+	v.Build.Features = len(v.Features)
 
 	if !opt.SkipPMI {
 		t2 := time.Now()
-		idx, err := pmi.Build(graphs, db.Engines, db.Features, opt.PMI)
+		idx, err := pmi.Build(graphs, v.Engines, v.Features, opt.PMI)
 		if err != nil {
 			return nil, fmt.Errorf("core: building PMI: %w", err)
 		}
-		db.PMI = idx
-		db.Build.PMITime = time.Since(t2)
-		db.Build.IndexSizeBytes = idx.SizeBytes()
+		v.PMI = idx
+		v.Build.PMITime = time.Since(t2)
+		v.Build.IndexSizeBytes = idx.SizeBytes()
 	}
+	db := &Database{}
+	db.cur.Store(v)
 	return db, nil
 }
 
-// Len returns the number of graphs.
-func (db *Database) Len() int { return len(db.Graphs) }
+// newFromView wraps a fully built view (snapshot loads) in a Database.
+func newFromView(v *View) *Database {
+	db := &Database{}
+	db.cur.Store(v)
+	return db
+}
 
-// AddGraph appends one probabilistic graph to the database incrementally:
-// it builds the inference engine, extends the structural filter, and adds
-// the graph's column to the PMI. The mined feature vocabulary is kept
-// (standard incremental-index trade-off; rebuild with NewDatabase when the
-// data distribution drifts). The new graph's index is returned.
+// View pins the current view: an immutable snapshot of the database the
+// caller can query for as long as it likes, unaffected by concurrent
+// mutations. Every query method on Database is shorthand for pinning a
+// view and calling the same method on it.
+func (db *Database) View() *View { return db.cur.Load() }
+
+// Len returns the current number of slots (tombstoned ones included); see
+// View.Len.
+func (db *Database) Len() int { return db.View().Len() }
+
+// NumLive returns the current number of live graphs.
+func (db *Database) NumLive() int { return db.View().NumLive() }
+
+// Tombstones returns the current number of tombstoned slots.
+func (db *Database) Tombstones() int { return db.View().Tombstones() }
+
+// Generation returns the current generation number.
+func (db *Database) Generation() uint64 { return db.View().Generation }
+
+// Graphs returns the current view's graph slots. Tombstoned slots keep
+// their graph; check View.Live before dereferencing semantics that
+// require liveness.
+func (db *Database) Graphs() []*prob.PGraph { return db.View().Graphs }
+
+// Certain returns the current view's certain graphs, by slot.
+func (db *Database) Certain() []*graph.Graph { return db.View().Certain }
+
+// PMI returns the current view's probabilistic matrix index (nil when the
+// database was built with SkipPMI).
+func (db *Database) PMI() *pmi.Index { return db.View().PMI }
+
+// Struct returns the current view's structural filter.
+func (db *Database) Struct() *simsearch.Index { return db.View().Struct }
+
+// Features returns the current view's mined feature vocabulary.
+func (db *Database) Features() []*feature.Feature { return db.View().Features }
+
+// Build returns the current view's construction statistics.
+func (db *Database) Build() BuildStats { return db.View().Build }
+
+// SetCompactThreshold configures automatic compaction: after a mutation
+// leaves more than frac × Len() slots tombstoned, the mutation compacts
+// the database in the same commit (one extra generation). frac <= 0
+// disables auto-compaction; Compact remains available either way. Note
+// that compaction renumbers the surviving graphs.
+func (db *Database) SetCompactThreshold(frac float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.compactThreshold = frac
+}
+
+// CompactThreshold returns the configured auto-compaction threshold.
+func (db *Database) CompactThreshold() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactThreshold
+}
+
+// ErrNoSuchGraph marks mutations addressing a slot that does not exist
+// or was already removed. Callers (the HTTP layer) use errors.Is to map
+// it to a not-found response, distinct from evaluation failures.
+var ErrNoSuchGraph = errors.New("no such graph")
+
+// Mutation describes one committed mutation: the slot it targeted (or
+// created), the generation transition, the resulting shape, and whether
+// the mutation triggered auto-compaction (renumbering graph indices).
+// Every field is captured inside the writer lock, so the record is
+// consistent even under concurrent mutations.
+type Mutation struct {
+	Index         int
+	OldGeneration uint64
+	NewGeneration uint64
+	LiveGraphs    int
+	Tombstoned    int
+	Compacted     bool
+}
+
+// record fills the post-state fields from the committed view.
+func (m *Mutation) record(old, committed *View) {
+	m.OldGeneration = old.Generation
+	m.NewGeneration = committed.Generation
+	m.LiveGraphs = committed.NumLive()
+	m.Tombstoned = committed.Tombstones()
+}
+
+// AddGraph inserts one probabilistic graph incrementally: it builds the
+// inference engine, extends the structural filter, and appends the
+// graph's column to the PMI — all copy-on-write, so queries running
+// against the pre-insertion view are never blocked or disturbed. The
+// mined feature vocabulary is kept (standard incremental-index trade-off;
+// rebuild with NewDatabase when the data distribution drifts). The new
+// graph's slot index and the new generation are returned.
 //
 // AddGraph is atomic: the fallible steps (engine construction, PMI column
-// computation) run before any database state is touched, so a failed call
-// leaves the database exactly as it was — including every Build stat.
-// pmi.Index.AddGraph computes its column in full before extending any row,
-// which makes it the commit point; all bookkeeping (IndexSizeBytes
-// included) is written only after it and the remaining infallible appends
-// succeed, so no field ever describes a database that was never committed.
-func (db *Database) AddGraph(pg *prob.PGraph) (int, error) {
+// computation) run before the successor view is published, so a failed
+// call leaves the database — and every already-pinned view — exactly as
+// it was.
+func (db *Database) AddGraph(pg *prob.PGraph) (int, uint64, error) {
+	m, err := db.AddGraphInfo(pg)
+	return m.Index, m.NewGeneration, err
+}
+
+// AddGraphInfo is AddGraph returning the full mutation record.
+func (db *Database) AddGraphInfo(pg *prob.PGraph) (Mutation, error) {
+	// Engine construction depends only on the incoming graph, so it runs
+	// before the writer lock — concurrent mutations serialize only on the
+	// view-dependent index work.
 	eng, err := prob.NewEngine(pg)
 	if err != nil {
-		return 0, fmt.Errorf("core: adding graph: %w", err)
+		return Mutation{}, fmt.Errorf("core: adding graph: %w", err)
 	}
-	if db.PMI != nil {
-		if err := db.PMI.AddGraph(pg, eng); err != nil {
-			return 0, err
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.cur.Load()
+	nv := *v
+	if v.PMI != nil {
+		npmi, err := v.PMI.WithColumn(pg, eng)
+		if err != nil {
+			return Mutation{}, err
+		}
+		nv.PMI = npmi
+		nv.Build.IndexSizeBytes = npmi.SizeBytes()
+	}
+	gi := len(v.Graphs)
+	nv.Graphs = append(v.Graphs, pg)
+	nv.Engines = append(v.Engines, eng)
+	nv.Certain = append(v.Certain, pg.G)
+	if v.live != nil {
+		nv.live = append(v.live, true)
+	}
+	nv.liveCount = v.liveCount + 1
+	if v.Struct != nil {
+		nv.Struct = v.Struct.WithGraph(pg.G)
+	}
+	nv.Generation = v.Generation + 1
+	db.cur.Store(&nv)
+	m := Mutation{Index: gi}
+	m.record(v, &nv)
+	return m, nil
+}
+
+// RemoveGraph tombstones slot id: the graph disappears from every
+// subsequent query (already-pinned views still see it) while its postings
+// and PMI column stay in place, masked, until Compact rewrites them.
+// Surviving graph indices are unchanged. The new generation is returned.
+func (db *Database) RemoveGraph(id int) (uint64, error) {
+	m, err := db.RemoveGraphInfo(id)
+	return m.NewGeneration, err
+}
+
+// RemoveGraphInfo is RemoveGraph returning the full mutation record —
+// including whether the removal crossed the compaction threshold and
+// renumbered the survivors.
+func (db *Database) RemoveGraphInfo(id int) (Mutation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.cur.Load()
+	if err := v.checkLive(id, "removing"); err != nil {
+		return Mutation{}, err
+	}
+	nv := *v
+	nv.live = make([]bool, len(v.Graphs))
+	if v.live != nil {
+		copy(nv.live, v.live)
+	} else {
+		for i := range nv.live {
+			nv.live[i] = true
 		}
 	}
-	gi := len(db.Graphs)
-	db.Graphs = append(db.Graphs, pg)
-	db.Engines = append(db.Engines, eng)
-	db.Certain = append(db.Certain, pg.G)
-	if db.Struct != nil {
-		db.Struct.AddGraph(pg.G)
+	nv.live[id] = false
+	nv.liveCount = v.liveCount - 1
+	if v.Struct != nil {
+		nv.Struct = v.Struct.WithTombstone(id)
 	}
-	if db.PMI != nil {
-		db.Build.IndexSizeBytes = db.PMI.SizeBytes()
+	if v.PMI != nil {
+		nv.PMI = v.PMI.WithMaskedColumn(id)
 	}
-	return gi, nil
+	nv.Generation = v.Generation + 1
+	final := db.maybeCompact(&nv)
+	db.cur.Store(final)
+	m := Mutation{Index: id, Compacted: final != &nv}
+	m.record(v, final)
+	return m, nil
+}
+
+// ReplaceGraph swaps the graph in live slot id for pg — the re-scored-JPT
+// case: same slot index, fresh engine, recomputed structural counts and
+// PMI column, all copy-on-write. The new generation is returned.
+func (db *Database) ReplaceGraph(id int, pg *prob.PGraph) (uint64, error) {
+	m, err := db.ReplaceGraphInfo(id, pg)
+	return m.NewGeneration, err
+}
+
+// ReplaceGraphInfo is ReplaceGraph returning the full mutation record.
+func (db *Database) ReplaceGraphInfo(id int, pg *prob.PGraph) (Mutation, error) {
+	// As in AddGraphInfo, the engine build is view-independent and stays
+	// outside the writer lock.
+	eng, err := prob.NewEngine(pg)
+	if err != nil {
+		return Mutation{}, fmt.Errorf("core: replacing graph %d: %w", id, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.cur.Load()
+	if err := v.checkLive(id, "replacing"); err != nil {
+		return Mutation{}, err
+	}
+	nv := *v
+	if v.PMI != nil {
+		npmi, err := v.PMI.WithReplacedColumn(id, pg, eng)
+		if err != nil {
+			return Mutation{}, err
+		}
+		nv.PMI = npmi
+		nv.Build.IndexSizeBytes = npmi.SizeBytes()
+	}
+	nv.Graphs = cloneWith(v.Graphs, id, pg)
+	nv.Engines = cloneWith(v.Engines, id, eng)
+	nv.Certain = cloneWith(v.Certain, id, pg.G)
+	if v.Struct != nil {
+		nv.Struct = v.Struct.WithReplaced(id, pg.G)
+	}
+	nv.Generation = v.Generation + 1
+	db.cur.Store(&nv)
+	m := Mutation{Index: id}
+	m.record(v, &nv)
+	return m, nil
+}
+
+// Compact rewrites the database without its tombstoned slots: survivors
+// keep their relative order and are renumbered contiguously, the postings
+// and the PMI drop the dead entries, and feature supports are remapped.
+// After Compact, per-candidate query seeding aligns with a fresh
+// NewDatabase over the surviving graphs (pruning-bypassed queries answer
+// bitwise-identically to one); the mined vocabulary is carried over, not
+// re-mined. A database without tombstones is returned unchanged (same
+// generation).
+func (db *Database) Compact() (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.cur.Load()
+	if v.Tombstones() == 0 {
+		return v.Generation, nil
+	}
+	nv := compactView(v)
+	db.cur.Store(nv)
+	return nv.Generation, nil
+}
+
+// maybeCompact applies the auto-compaction policy to a not-yet-published
+// successor view. Caller holds db.mu.
+func (db *Database) maybeCompact(nv *View) *View {
+	if db.compactThreshold <= 0 || nv.Len() == 0 {
+		return nv
+	}
+	if float64(nv.Tombstones()) <= db.compactThreshold*float64(nv.Len()) {
+		return nv
+	}
+	return compactView(nv)
+}
+
+// compactView builds the tombstone-free successor of v.
+func compactView(v *View) *View {
+	nv := &View{
+		Generation: v.Generation + 1,
+		opt:        v.opt,
+		Build:      v.Build,
+	}
+	remap := make([]int, len(v.Graphs)) // old slot → new slot, -1 when dead
+	for gi := range v.Graphs {
+		if !v.Live(gi) {
+			remap[gi] = -1
+			continue
+		}
+		remap[gi] = len(nv.Graphs)
+		nv.Graphs = append(nv.Graphs, v.Graphs[gi])
+		nv.Engines = append(nv.Engines, v.Engines[gi])
+		nv.Certain = append(nv.Certain, v.Certain[gi])
+	}
+	nv.liveCount = len(nv.Graphs)
+	nv.Features = make([]*feature.Feature, len(v.Features))
+	for i, f := range v.Features {
+		cp := *f
+		cp.Support = nil
+		for _, gi := range f.Support {
+			if gi < len(remap) && remap[gi] >= 0 {
+				cp.Support = append(cp.Support, remap[gi])
+			}
+		}
+		nv.Features[i] = &cp
+	}
+	if v.Struct != nil {
+		nv.Struct = v.Struct.Compacted()
+	}
+	if v.PMI != nil {
+		nv.PMI = v.PMI.CompactedColumns()
+		nv.Build.IndexSizeBytes = nv.PMI.SizeBytes()
+	}
+	return nv
+}
+
+// checkLive validates a mutation target slot. Both failure modes wrap
+// ErrNoSuchGraph.
+func (v *View) checkLive(id int, verb string) error {
+	if id < 0 || id >= len(v.Graphs) {
+		return fmt.Errorf("core: %s graph %d: %w: index out of range [0,%d)", verb, id, ErrNoSuchGraph, len(v.Graphs))
+	}
+	if !v.Live(id) {
+		return fmt.Errorf("core: %s graph %d: %w: already removed", verb, id, ErrNoSuchGraph)
+	}
+	return nil
+}
+
+// tombstoneIDs lists the view's tombstoned slots, ascending.
+func (v *View) tombstoneIDs() []int {
+	if v.live == nil {
+		return nil
+	}
+	var out []int
+	for gi, ok := range v.live {
+		if !ok {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+// cloneWith returns a copy of xs with xs[i] = x.
+func cloneWith[T any](xs []T, i int, x T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	out[i] = x
+	return out
 }
 
 // AttachPMI installs a previously persisted index (see pmi.Index.Save /
-// pmi.Load), replacing whatever the build produced. The index must have
-// been built from exactly this database: the column count is validated
-// here, entry semantics cannot be (garbage in, garbage out).
+// pmi.Load) as a new generation, replacing whatever the build produced.
+// The index must have been built from exactly this database: the column
+// count is validated here, entry semantics cannot be (garbage in, garbage
+// out). The view's tombstones are re-applied as the column mask, so a
+// later Compact keeps the columns aligned with the renumbered slots.
 func (db *Database) AttachPMI(idx *pmi.Index) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.cur.Load()
 	for fi := range idx.Entries {
-		if len(idx.Entries[fi]) != len(db.Graphs) {
+		if len(idx.Entries[fi]) != len(v.Graphs) {
 			return fmt.Errorf("core: index row %d covers %d graphs, database has %d",
-				fi, len(idx.Entries[fi]), len(db.Graphs))
+				fi, len(idx.Entries[fi]), len(v.Graphs))
 		}
 	}
-	db.PMI = idx
-	db.Build.IndexSizeBytes = idx.SizeBytes()
+	nv := *v
+	nv.PMI = idx.WithMaskedColumns(v.tombstoneIDs())
+	nv.Build.IndexSizeBytes = nv.PMI.SizeBytes()
+	nv.Generation = v.Generation + 1
+	db.cur.Store(&nv)
 	return nil
 }

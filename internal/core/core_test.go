@@ -40,7 +40,7 @@ func naiveAnswers(t *testing.T, db *Database, q *graph.Graph, eps float64, delta
 	t.Helper()
 	var out []int
 	ssp := make(map[int]float64)
-	for gi := range db.Graphs {
+	for gi := range db.Graphs() {
 		p, err := db.ExactSSPByEnumeration(q, gi, delta)
 		if err != nil {
 			t.Fatal(err)
@@ -77,7 +77,7 @@ func TestPipelineWithoutBoundsIsExact(t *testing.T) {
 		db, _ := smallDatabase(t, 101, 8, correlated)
 		rng := rand.New(rand.NewSource(7))
 		for trial := 0; trial < 4; trial++ {
-			q := dataset.ExtractQuery(db.Certain[trial%len(db.Certain)], 4, rng)
+			q := dataset.ExtractQuery(db.Certain()[trial%len(db.Certain())], 4, rng)
 			for _, delta := range []int{0, 1} {
 				eps := 0.4
 				res, err := db.Query(q, QueryOptions{
@@ -108,7 +108,7 @@ func TestFullPipelineSoundness(t *testing.T) {
 		db, _ := smallDatabase(t, 202, 8, true)
 		rng := rand.New(rand.NewSource(9))
 		for trial := 0; trial < 3; trial++ {
-			q := dataset.ExtractQuery(db.Certain[trial], 4, rng)
+			q := dataset.ExtractQuery(db.Certain()[trial], 4, rng)
 			eps := 0.35
 			res, err := db.Query(q, QueryOptions{
 				Epsilon: eps, Delta: 1,
@@ -135,7 +135,7 @@ func TestFullPipelineSoundness(t *testing.T) {
 func TestSMPPipelineCloseToExact(t *testing.T) {
 	db, _ := smallDatabase(t, 303, 8, true)
 	rng := rand.New(rand.NewSource(11))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	eps := 0.45
 	res, err := db.Query(q, QueryOptions{
 		Epsilon: eps, Delta: 1,
@@ -167,7 +167,7 @@ func TestSMPPipelineCloseToExact(t *testing.T) {
 func TestQueryStatsPopulated(t *testing.T) {
 	db, _ := smallDatabase(t, 404, 6, true)
 	rng := rand.New(rand.NewSource(13))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	res, err := db.Query(q, QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestQueryStatsPopulated(t *testing.T) {
 
 func TestQueryValidation(t *testing.T) {
 	db, _ := smallDatabase(t, 505, 4, false)
-	q := db.Certain[0]
+	q := db.Certain()[0]
 	if _, err := db.Query(q, QueryOptions{Epsilon: 1.5, Delta: 1}); err == nil {
 		t.Fatal("epsilon > 1 must be rejected")
 	}
@@ -220,7 +220,7 @@ func TestDirectAcceptsAreTrueAnswers(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	found := false
 	for trial := 0; trial < 6 && !found; trial++ {
-		q := dataset.ExtractQuery(db.Certain[trial%len(db.Certain)], 3, rng)
+		q := dataset.ExtractQuery(db.Certain()[trial%len(db.Certain())], 3, rng)
 		eps := 0.3
 		res, err := db.Query(q, QueryOptions{
 			Epsilon: eps, Delta: 1, OptBounds: true,
@@ -255,7 +255,7 @@ func TestDirectAcceptsAreTrueAnswers(t *testing.T) {
 func TestVerifierNoneCountsCandidates(t *testing.T) {
 	db, _ := smallDatabase(t, 808, 6, true)
 	rng := rand.New(rand.NewSource(19))
-	q := dataset.ExtractQuery(db.Certain[1], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[1], 4, rng)
 	res, err := db.Query(q, QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Verifier: VerifierNone, Seed: 3})
 	if err != nil {
 		t.Fatal(err)

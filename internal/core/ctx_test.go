@@ -21,7 +21,7 @@ func slowQueryEnv(t *testing.T) (*Database, *graph.Graph, QueryOptions) {
 	t.Helper()
 	db, _ := smallDatabase(t, 2001, 16, true)
 	rng := rand.New(rand.NewSource(61))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	opt := QueryOptions{
 		Epsilon: 0.4, Delta: 1, SkipProbPruning: true,
 		Verifier: VerifierSMP, Verify: verify.Options{N: 60000},
@@ -51,7 +51,7 @@ func checkGoroutineBaseline(t *testing.T, label string, baseline int) {
 func TestQueryCtxPreCancelled(t *testing.T) {
 	db, _ := smallDatabase(t, 2002, 6, true)
 	rng := rand.New(rand.NewSource(67))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	opt := QueryOptions{Epsilon: 0.4, Delta: 1, Seed: 1}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -202,7 +202,7 @@ func TestQueryCtxDeadline(t *testing.T) {
 func TestQueryCtxUncancelledIdentical(t *testing.T) {
 	db, _ := smallDatabase(t, 2003, 8, true)
 	rng := rand.New(rand.NewSource(71))
-	q := dataset.ExtractQuery(db.Certain[1], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[1], 4, rng)
 	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 13, Concurrency: 4}
 	want, err := db.Query(q, opt)
 	if err != nil {

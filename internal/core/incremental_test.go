@@ -21,29 +21,33 @@ func TestAddGraphMatchesNaive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pg := range extra.Graphs {
-		gi, err := db.AddGraph(pg)
+	genBefore := db.Generation()
+	for i, pg := range extra.Graphs {
+		gi, gen, err := db.AddGraph(pg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if gi >= db.Len() {
 			t.Fatalf("returned index %d out of range", gi)
 		}
+		if want := genBefore + uint64(i) + 1; gen != want {
+			t.Fatalf("AddGraph returned generation %d, want %d", gen, want)
+		}
 	}
 	if db.Len() != len(raw.Graphs)+2 {
 		t.Fatalf("database has %d graphs, want %d", db.Len(), len(raw.Graphs)+2)
 	}
 	// PMI columns must cover the new graphs.
-	for fi := range db.PMI.Entries {
-		if len(db.PMI.Entries[fi]) != db.Len() {
-			t.Fatalf("PMI row %d has %d columns, want %d", fi, len(db.PMI.Entries[fi]), db.Len())
+	for fi := range db.PMI().Entries {
+		if len(db.PMI().Entries[fi]) != db.Len() {
+			t.Fatalf("PMI row %d has %d columns, want %d", fi, len(db.PMI().Entries[fi]), db.Len())
 		}
 	}
 
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 3; trial++ {
 		// Mix queries from the original and the inserted graphs.
-		src := db.Certain[(trial*3+db.Len()-1)%db.Len()]
+		src := db.Certain()[(trial*3+db.Len()-1)%db.Len()]
 		q := dataset.ExtractQuery(src, 4, rng)
 		eps := 0.35
 		res, err := db.Query(q, QueryOptions{
@@ -75,19 +79,19 @@ func TestAddGraphBookkeepingAfterCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, postingsBefore := db.Struct.PostingsStats()
-	if _, err := db.AddGraph(extra.Graphs[0]); err != nil {
+	_, postingsBefore := db.Struct().PostingsStats()
+	if _, _, err := db.AddGraph(extra.Graphs[0]); err != nil {
 		t.Fatal(err)
 	}
-	if want := db.PMI.SizeBytes(); db.Build.IndexSizeBytes != want {
-		t.Fatalf("IndexSizeBytes = %d, want PMI.SizeBytes() = %d", db.Build.IndexSizeBytes, want)
+	if want := db.PMI().SizeBytes(); db.Build().IndexSizeBytes != want {
+		t.Fatalf("IndexSizeBytes = %d, want PMI.SizeBytes() = %d", db.Build().IndexSizeBytes, want)
 	}
-	if _, after := db.Struct.PostingsStats(); after <= postingsBefore {
+	if _, after := db.Struct().PostingsStats(); after <= postingsBefore {
 		t.Fatalf("structural postings did not grow: %d -> %d", postingsBefore, after)
 	}
-	if len(db.Graphs) != len(db.Engines) || len(db.Graphs) != len(db.Certain) {
+	if v := db.View(); len(v.Graphs) != len(v.Engines) || len(v.Graphs) != len(v.Certain) {
 		t.Fatalf("parallel slices diverged: %d graphs, %d engines, %d certain",
-			len(db.Graphs), len(db.Engines), len(db.Certain))
+			len(v.Graphs), len(v.Engines), len(v.Certain))
 	}
 
 	// Without a PMI the stat must stay untouched (no stale PMI size).
@@ -104,12 +108,12 @@ func TestAddGraphBookkeepingAfterCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := noPMI.Build.IndexSizeBytes
-	if _, err := noPMI.AddGraph(extra.Graphs[0]); err != nil {
+	before := noPMI.Build().IndexSizeBytes
+	if _, _, err := noPMI.AddGraph(extra.Graphs[0]); err != nil {
 		t.Fatal(err)
 	}
-	if noPMI.Build.IndexSizeBytes != before {
-		t.Fatalf("IndexSizeBytes changed on a PMI-less database: %d -> %d", before, noPMI.Build.IndexSizeBytes)
+	if noPMI.Build().IndexSizeBytes != before {
+		t.Fatalf("IndexSizeBytes changed on a PMI-less database: %d -> %d", before, noPMI.Build().IndexSizeBytes)
 	}
 }
 
@@ -124,13 +128,13 @@ func TestAddGraphBoundsStaySound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gi, err := db.AddGraph(extra.Graphs[0])
+	gi, _, err := db.AddGraph(extra.Graphs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	checked := 0
-	for fi, fg := range db.PMI.Features {
-		e := db.PMI.Entries[fi][gi]
+	for fi, fg := range db.PMI().Features {
+		e := db.PMI().Entries[fi][gi]
 		if !e.Contained {
 			continue
 		}

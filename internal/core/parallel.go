@@ -70,7 +70,7 @@ func newRelCache() *relCache { return &relCache{m: make(map[string]relEntry)} }
 
 // featureRelations computes (or recalls from cache) the feature sets
 // related to one relaxed query. Safe for concurrent use.
-func (db *Database) featureRelations(rq *graph.Graph, cache *relCache) relEntry {
+func (v *View) featureRelations(rq *graph.Graph, cache *relCache) relEntry {
 	var key string
 	if cache != nil {
 		key = graph.CanonicalCode(rq)
@@ -82,8 +82,8 @@ func (db *Database) featureRelations(rq *graph.Graph, cache *relCache) relEntry 
 		}
 	}
 	var e relEntry
-	for j := 0; j < db.PMI.NumFeatures(); j++ {
-		f := db.PMI.Features[j]
+	for j := 0; j < v.PMI.NumFeatures(); j++ {
+		f := v.PMI.Features[j]
 		if iso.Exists(f, rq, nil) {
 			e.sup = append(e.sup, j)
 		}

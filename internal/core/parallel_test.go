@@ -51,7 +51,7 @@ func TestSerialParallelIdenticalResults(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	var qs []*graph.Graph
 	for i := 0; i < 3; i++ {
-		qs = append(qs, dataset.ExtractQuery(db.Certain[i*3%len(db.Certain)], 4, rng))
+		qs = append(qs, dataset.ExtractQuery(db.Certain()[i*3%len(db.Certain())], 4, rng))
 	}
 	for _, optBounds := range []bool{false, true} {
 		for _, vk := range []VerifierKind{VerifierSMP, VerifierExact, VerifierNone} {
@@ -88,7 +88,7 @@ func TestSerialParallelIdenticalResults(t *testing.T) {
 func TestQueryTopKParallelMatchesSerial(t *testing.T) {
 	db, _ := smallDatabase(t, 1002, 10, true)
 	rng := rand.New(rand.NewSource(43))
-	q := dataset.ExtractQuery(db.Certain[2], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[2], 4, rng)
 	opt := QueryOptions{
 		Delta: 1, OptBounds: true,
 		Verifier: VerifierSMP, Verify: verify.Options{N: 1500},
@@ -124,8 +124,8 @@ func TestQueryBatchInnerConcurrency(t *testing.T) {
 	db, _ := smallDatabase(t, 1003, 8, true)
 	rng := rand.New(rand.NewSource(47))
 	qs := []*graph.Graph{
-		dataset.ExtractQuery(db.Certain[0], 4, rng),
-		dataset.ExtractQuery(db.Certain[1], 4, rng),
+		dataset.ExtractQuery(db.Certain()[0], 4, rng),
+		dataset.ExtractQuery(db.Certain()[1], 4, rng),
 	}
 	opt := QueryOptions{
 		Epsilon: 0.4, Delta: 1, OptBounds: true,
@@ -154,7 +154,7 @@ func TestQueryBatchInnerConcurrency(t *testing.T) {
 func TestQueryBatchRepeatedQueriesHitCache(t *testing.T) {
 	db, _ := smallDatabase(t, 1004, 8, true)
 	rng := rand.New(rand.NewSource(53))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	qs := []*graph.Graph{q, q, q, q}
 	opt := QueryOptions{
 		Epsilon: 0.4, Delta: 1, OptBounds: true,

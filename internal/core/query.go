@@ -128,12 +128,18 @@ type Result struct {
 	Stats Stats
 }
 
-// Query runs the full T-PS pipeline for query graph q. Candidates are
-// evaluated on a pool of opt.Concurrency workers; see QueryOptions for the
-// determinism guarantee. Query never cancels; it is QueryCtx with
-// context.Background().
+// Query runs the full T-PS pipeline for query graph q against the
+// current view, pinned at entry — concurrent mutations neither block nor
+// disturb it. Candidates are evaluated on a pool of opt.Concurrency
+// workers; see QueryOptions for the determinism guarantee. Query never
+// cancels; it is QueryCtx with context.Background().
 func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
-	return db.query(context.Background(), q, opt, nil)
+	return db.View().Query(q, opt)
+}
+
+// Query on a pinned View is Query against exactly that generation.
+func (v *View) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
+	return v.query(context.Background(), q, opt, nil)
 }
 
 // QueryCtx is Query under a context: cancellation (or a deadline) is
@@ -145,7 +151,12 @@ func (db *Database) Query(q *graph.Graph, opt QueryOptions) (*Result, error) {
 // never returns a partial Result. An uncancelled QueryCtx call returns
 // exactly what Query would.
 func (db *Database) QueryCtx(ctx context.Context, q *graph.Graph, opt QueryOptions) (*Result, error) {
-	return db.query(ctx, q, opt, nil)
+	return db.View().QueryCtx(ctx, q, opt)
+}
+
+// QueryCtx on a pinned View is QueryCtx against exactly that generation.
+func (v *View) QueryCtx(ctx context.Context, q *graph.Graph, opt QueryOptions) (*Result, error) {
+	return v.query(ctx, q, opt, nil)
 }
 
 // candOutcome is the per-candidate result of the fused pruning +
@@ -161,10 +172,10 @@ type candOutcome struct {
 // evalCandidate runs the fused probabilistic-pruning + verification stage
 // for one candidate graph gi. pr == nil skips the pruning phase (PMI
 // disabled or bypassed). The outcome is a pure function of
-// (db, q, u, gi, opt): all randomness is seeded from candSeed, so every
+// (v, q, u, gi, opt): all randomness is seeded from candSeed, so every
 // caller — the materializing query loop, the top-k scheduler, the stream
 // workers — computes the identical outcome regardless of scheduling.
-func (db *Database) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi int, opt QueryOptions) candOutcome {
+func (v *View) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi int, opt QueryOptions) candOutcome {
 	var o candOutcome
 	if pr != nil {
 		t := time.Now()
@@ -176,7 +187,7 @@ func (db *Database) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, 
 		return o
 	}
 	t := time.Now()
-	o.ssp, o.err = db.VerifySSP(q, u, gi, opt)
+	o.ssp, o.err = v.VerifySSP(q, u, gi, opt)
 	o.verifyT = time.Since(t)
 	return o
 }
@@ -200,7 +211,7 @@ func outcomeMatch(o candOutcome, opt QueryOptions) (match bool, ssp float64) {
 	}
 }
 
-func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cache *relCache) (*Result, error) {
+func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cache *relCache) (*Result, error) {
 	opt = opt.withDefaults()
 	if opt.Epsilon <= 0 || opt.Epsilon > 1 {
 		return nil, fmt.Errorf("core: epsilon %v outside (0,1]", opt.Epsilon)
@@ -217,7 +228,10 @@ func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions,
 	// Degenerate relaxation: δ ≥ |q| makes every world a match (the empty
 	// relaxed query embeds everywhere), so SSP = 1 ≥ ε for every graph.
 	if opt.Delta >= q.NumEdges() {
-		for gi := range db.Graphs {
+		for gi := range v.Graphs {
+			if !v.Live(gi) {
+				continue
+			}
 			res.Answers = append(res.Answers, gi)
 			res.SSP[gi] = 1
 		}
@@ -229,7 +243,7 @@ func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions,
 	// Phase 1: structural pruning (Theorem 1). The inverted-postings scan
 	// and the exact confirmations share the query's worker pool.
 	t0 := time.Now()
-	scq, filterCount, err := db.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	scq, filterCount, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -248,11 +262,11 @@ func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions,
 	// pipeline fans out over the worker pool. Randomized steps draw from a
 	// per-candidate RNG seeded by candSeed, making the outcome identical
 	// at any concurrency.
-	probActive := !opt.SkipProbPruning && db.PMI != nil
+	probActive := !opt.SkipProbPruning && v.PMI != nil
 	var pr *pruner
 	if probActive {
 		t := time.Now()
-		pr, err = db.newPruner(ctx, u, opt, cache)
+		pr, err = v.newPruner(ctx, u, opt, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +278,7 @@ func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions,
 		if abort.Load() {
 			return // a pending error makes this candidate's work moot
 		}
-		outs[i] = db.evalCandidate(q, u, pr, scq[i], opt)
+		outs[i] = v.evalCandidate(q, u, pr, scq[i], opt)
 		if outs[i].err != nil {
 			abort.Store(true)
 		}
@@ -313,25 +327,30 @@ func (db *Database) query(ctx context.Context, q *graph.Graph, opt QueryOptions,
 // is reproducible regardless of which other graphs are verified, in what
 // order, or on how many workers.
 func (db *Database) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOptions) (float64, error) {
+	return db.View().VerifySSP(q, u, gi, opt)
+}
+
+// VerifySSP on a pinned View; see the Database method.
+func (v *View) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOptions) (float64, error) {
 	opt = opt.withDefaults()
-	clauses := db.collectClauses(u, gi, opt.MaxClausesPerRQ)
+	clauses := v.collectClauses(u, gi, opt.MaxClausesPerRQ)
 	if len(clauses) == 0 {
 		return 0, nil
 	}
 	switch opt.Verifier {
 	case VerifierExact:
-		return verify.Exact(db.Engines[gi], clauses, opt.Verify.MaxClauses)
+		return verify.Exact(v.Engines[gi], clauses, opt.Verify.MaxClauses)
 	default:
 		vo := opt.Verify
 		vo.Seed = candSeed(opt.Seed^verifySalt, gi)
-		return verify.SMP(db.Engines[gi], clauses, vo)
+		return verify.SMP(v.Engines[gi], clauses, vo)
 	}
 }
 
 // collectClauses gathers the DNF of Equation 22: distinct embedding edge
 // sets of every rq ∈ U in gc, absorbed and deduplicated.
-func (db *Database) collectClauses(u []*graph.Graph, gi, capPerRQ int) []graph.EdgeSet {
-	gc := db.Certain[gi]
+func (v *View) collectClauses(u []*graph.Graph, gi, capPerRQ int) []graph.EdgeSet {
+	gc := v.Certain[gi]
 	var clauses []graph.EdgeSet
 	for _, rq := range u {
 		clauses = append(clauses, iso.EdgeSets(rq, gc, nil, capPerRQ)...)
@@ -342,12 +361,17 @@ func (db *Database) collectClauses(u []*graph.Graph, gi, capPerRQ int) []graph.E
 // ExactSSPByEnumeration computes SSP by full possible-world enumeration —
 // the naive Section 1.1 baseline, used by tests and the smallest benches.
 func (db *Database) ExactSSPByEnumeration(q *graph.Graph, gi, delta int) (float64, error) {
+	return db.View().ExactSSPByEnumeration(q, gi, delta)
+}
+
+// ExactSSPByEnumeration on a pinned View; see the Database method.
+func (v *View) ExactSSPByEnumeration(q *graph.Graph, gi, delta int) (float64, error) {
 	u := relax.Relaxed(q, delta, 0)
-	eng := db.Engines[gi]
+	eng := v.Engines[gi]
 	total := 0.0
 	err := prob.EnumerateWorlds(eng, func(w graph.EdgeSet, p float64) bool {
 		for _, rq := range u {
-			if iso.Exists(rq, db.Certain[gi], &w) {
+			if iso.Exists(rq, v.Certain[gi], &w) {
 				total += p
 				break
 			}
@@ -370,7 +394,7 @@ const (
 // After construction it is immutable and safe for concurrent judge calls;
 // randomized family selection draws from the caller's per-candidate rng.
 type pruner struct {
-	db  *Database
+	v   *View
 	u   []*graph.Graph
 	opt QueryOptions
 
@@ -385,16 +409,16 @@ type pruner struct {
 // The dominant cost is the subgraph isomorphism tests of featureRelations,
 // one batch per relaxed query, so ctx is checked at that granularity — a
 // cancelled construction returns (nil, ctx.Err()).
-func (db *Database) newPruner(ctx context.Context, u []*graph.Graph, opt QueryOptions, cache *relCache) (*pruner, error) {
-	p := &pruner{db: db, u: u, opt: opt}
-	nf := db.PMI.NumFeatures()
+func (v *View) newPruner(ctx context.Context, u []*graph.Graph, opt QueryOptions, cache *relCache) (*pruner, error) {
+	p := &pruner{v: v, u: u, opt: opt}
+	nf := v.PMI.NumFeatures()
 	p.supOf = make([][]int, nf)
 	p.subOf = make([][]int, nf)
 	for i, rq := range u {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rel := db.featureRelations(rq, cache)
+		rel := v.featureRelations(rq, cache)
 		for _, j := range rel.sup {
 			p.supOf[j] = append(p.supOf[j], i)
 		}
@@ -408,7 +432,7 @@ func (db *Database) newPruner(ctx context.Context, u []*graph.Graph, opt QueryOp
 // judge applies Pruning 1 (upper < ε ⇒ prune) then Pruning 2 (lower ≥ ε ⇒
 // accept) to graph gi.
 func (p *pruner) judge(gi int, rng *rand.Rand) judgement {
-	entries := p.db.PMI.Lookup(gi)
+	entries := p.v.PMI.Lookup(gi)
 	usim := p.upperBound(entries, rng)
 	if usim < p.opt.Epsilon {
 		return judgePrune

@@ -21,8 +21,10 @@ import (
 // process can start answering queries without re-mining features or
 // rebuilding the PMI. It composes the existing line-oriented codecs:
 //
-//	pgsnap v1
+//	pgsnap v3
 //	options <one-line JSON of BuildOptions>
+//	generation <gen> <numTombstones>
+//	  tombs <slot ids ascending>      (only when numTombstones > 0)
 //	graphs <n>
 //	  ... n dataset pgraph blocks (certain graph + JPTs) ...
 //	features <nf>
@@ -34,6 +36,15 @@ import (
 //	  ... pmi.Save section when present ...
 //	endpgsnap
 //
+// The v3 generation section carries the view's generation number and its
+// tombstoned slots; the graphs section still writes every slot (dead ones
+// included) so graph indices — and therefore per-candidate query seeding —
+// survive the round trip, while the PMI section writes masked columns as
+// uncontained and the loader re-applies the mask from the tombstone list.
+// Snapshots written before generations existed (header "pgsnap v1", with
+// either a v1 or v2 simsearch section) still load: they restore at
+// generation 1 with no tombstones.
+//
 // Every numeric payload round-trips bitwise (JPT probabilities via %g
 // shortest-representation, PMI bounds via %.17g), so a query against the
 // reloaded database returns exactly what the original would. Only the
@@ -41,31 +52,54 @@ import (
 // construction is deterministic and cheap next to feature mining and PMI
 // bound computation.
 
-// SnapshotVersion identifies the snapshot format written by Save.
-const SnapshotVersion = "pgsnap v1"
+// SnapshotVersion identifies the snapshot format written by Save. The v3
+// format added the generation section; v1 files still load.
+const SnapshotVersion = "pgsnap v3"
+
+// snapshotVersionV1 is the pre-generation header, accepted by
+// LoadDatabase for back compatibility.
+const snapshotVersionV1 = "pgsnap v1"
 
 // Save writes the database — graphs, JPTs, mined features, structural
-// filter, and PMI — as one snapshot. LoadDatabase restores it without any
-// feature mining or bound recomputation.
+// filter, PMI, generation, and tombstones — as one snapshot. The view is
+// pinned once at entry, so a snapshot taken under concurrent mutation is
+// one consistent generation. LoadDatabase restores it without any feature
+// mining or bound recomputation.
 func (db *Database) Save(w io.Writer) error {
+	return db.View().Save(w)
+}
+
+// Save writes this exact generation as a snapshot; see Database.Save.
+func (v *View) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SnapshotVersion)
 
-	optJSON, err := json.Marshal(db.opt)
+	optJSON, err := json.Marshal(v.opt)
 	if err != nil {
 		return fmt.Errorf("core: snapshot options: %w", err)
 	}
 	fmt.Fprintf(bw, "options %s\n", optJSON)
 
-	fmt.Fprintf(bw, "graphs %d\n", len(db.Graphs))
-	for _, pg := range db.Graphs {
+	fmt.Fprintf(bw, "generation %d %d\n", v.Generation, v.Tombstones())
+	if v.Tombstones() > 0 {
+		fmt.Fprint(bw, "tombs")
+		for gi := range v.Graphs {
+			if !v.Live(gi) {
+				fmt.Fprintf(bw, " %d", gi)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+
+	fmt.Fprintf(bw, "graphs %d\n", len(v.Graphs))
+	for _, pg := range v.Graphs {
 		if err := dataset.EncodePGraph(bw, pg, 0); err != nil {
 			return err
 		}
 	}
 
-	fmt.Fprintf(bw, "features %d\n", len(db.Features))
-	for i, f := range db.Features {
+	fmt.Fprintf(bw, "features %d\n", len(v.Features))
+	for i, f := range v.Features {
 		fmt.Fprintf(bw, "feat %d %d", i, len(f.Support))
 		for _, gi := range f.Support {
 			fmt.Fprintf(bw, " %d", gi)
@@ -76,24 +110,24 @@ func (db *Database) Save(w io.Writer) error {
 		}
 	}
 
-	if db.Struct != nil {
+	if v.Struct != nil {
 		fmt.Fprintln(bw, "struct 1")
 		if err := bw.Flush(); err != nil {
 			return err
 		}
-		if err := db.Struct.Save(w); err != nil {
+		if err := v.Struct.Save(w); err != nil {
 			return err
 		}
 	} else {
 		fmt.Fprintln(bw, "struct 0")
 	}
 
-	if db.PMI != nil {
+	if v.PMI != nil {
 		fmt.Fprintln(bw, "pmi 1")
 		if err := bw.Flush(); err != nil {
 			return err
 		}
-		if err := db.PMI.Save(w); err != nil {
+		if err := v.PMI.Save(w); err != nil {
 			return err
 		}
 	} else {
@@ -106,9 +140,10 @@ func (db *Database) Save(w io.Writer) error {
 
 // LoadDatabase reads a snapshot written by Save and returns a Database
 // equivalent to the one that wrote it: identical graphs, features,
-// structural counts, and PMI bounds, with freshly built inference engines.
-// No feature mining or bound computation runs — load cost is parsing plus
-// junction-tree construction.
+// structural counts, PMI bounds, generation, and tombstones, with freshly
+// built inference engines. No feature mining or bound computation runs —
+// load cost is parsing plus junction-tree construction. Pre-generation
+// snapshots (header "pgsnap v1") load at generation 1 with no tombstones.
 func LoadDatabase(r io.Reader) (*Database, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
@@ -117,11 +152,13 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot header: %w", err)
 	}
-	if header != SnapshotVersion {
-		return nil, fmt.Errorf("core: not a snapshot (header %q, want %q)", header, SnapshotVersion)
+	v3 := header == SnapshotVersion
+	if !v3 && header != snapshotVersionV1 {
+		return nil, fmt.Errorf("core: not a snapshot (header %q, want %q or %q)",
+			header, SnapshotVersion, snapshotVersionV1)
 	}
 
-	db := &Database{}
+	v := &View{Generation: 1}
 	line, err := snapLine(sc)
 	if err != nil {
 		return nil, err
@@ -129,8 +166,37 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if !strings.HasPrefix(line, "options ") {
 		return nil, fmt.Errorf("core: snapshot: want options line, got %q", line)
 	}
-	if err := json.Unmarshal([]byte(line[len("options "):]), &db.opt); err != nil {
+	if err := json.Unmarshal([]byte(line[len("options "):]), &v.opt); err != nil {
 		return nil, fmt.Errorf("core: snapshot options: %w", err)
+	}
+
+	var tombs []int
+	if v3 {
+		line, err = snapLine(sc)
+		if err != nil {
+			return nil, err
+		}
+		var ntomb int
+		if _, err := fmt.Sscanf(line, "generation %d %d", &v.Generation, &ntomb); err != nil {
+			return nil, fmt.Errorf("core: snapshot: bad generation line %q", line)
+		}
+		if ntomb > 0 {
+			line, err = snapLine(sc)
+			if err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 1+ntomb || fields[0] != "tombs" {
+				return nil, fmt.Errorf("core: snapshot: bad tombs line %q (want %d ids)", line, ntomb)
+			}
+			for _, tok := range fields[1:] {
+				gi, err := strconv.Atoi(tok)
+				if err != nil || gi < 0 {
+					return nil, fmt.Errorf("core: snapshot: bad tombstone id %q", tok)
+				}
+				tombs = append(tombs, gi)
+			}
+		}
 	}
 
 	line, err = snapLine(sc)
@@ -147,8 +213,13 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot graph %d: %w", gi, err)
 		}
-		db.Graphs = append(db.Graphs, pg)
-		db.Certain = append(db.Certain, pg.G)
+		v.Graphs = append(v.Graphs, pg)
+		v.Certain = append(v.Certain, pg.G)
+	}
+	for _, gi := range tombs {
+		if gi >= n {
+			return nil, fmt.Errorf("core: snapshot: tombstone %d out of range [0,%d)", gi, n)
+		}
 	}
 
 	line, err = snapLine(sc)
@@ -186,11 +257,11 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot feature %d graph: %w", fi, err)
 		}
-		db.Features = append(db.Features, &feature.Feature{
+		v.Features = append(v.Features, &feature.Feature{
 			G: fg, Code: graph.CanonicalCode(fg), Support: support,
 		})
 	}
-	db.Build.Features = len(db.Features)
+	v.Build.Features = len(v.Features)
 
 	line, err = snapLine(sc)
 	if err != nil {
@@ -201,11 +272,11 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		return nil, fmt.Errorf("core: snapshot: bad struct header %q", line)
 	}
 	if hasStruct == 1 {
-		ix, err := simsearch.LoadFromScanner(sc, db.Certain)
+		ix, err := simsearch.LoadFromScanner(sc, v.Certain)
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot: %w", err)
 		}
-		db.Struct = ix
+		v.Struct = ix.WithTombstones(tombs)
 	}
 
 	line, err = snapLine(sc)
@@ -228,11 +299,12 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 			}
 		}
 		// pmi.Save does not persist options; restore them from the build
-		// options so incremental AddGraph behaves exactly as before the
-		// round-trip.
-		idx.Opt = db.opt.PMI
-		db.PMI = idx
-		db.Build.IndexSizeBytes = idx.SizeBytes()
+		// options so incremental mutations behave exactly as before the
+		// round-trip. The tombstone mask is re-applied so dead columns
+		// stay masked (their entries were written as uncontained).
+		idx.Opt = v.opt.PMI
+		v.PMI = idx.WithMaskedColumns(tombs)
+		v.Build.IndexSizeBytes = v.PMI.SizeBytes()
 	}
 
 	line, err = snapLine(sc)
@@ -243,19 +315,35 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		return nil, fmt.Errorf("core: snapshot: want endpgsnap, got %q", line)
 	}
 
+	v.liveCount = n
+	if len(tombs) > 0 {
+		v.live = make([]bool, n)
+		for gi := range v.live {
+			v.live[gi] = true
+		}
+		for _, gi := range tombs {
+			if v.live[gi] {
+				v.live[gi] = false
+				v.liveCount--
+			}
+		}
+	}
+
 	// Rebuild the inference engines — deterministic junction-tree
-	// construction, parallel across graphs.
-	db.Engines = make([]*prob.Engine, n)
+	// construction, parallel across graphs. Tombstoned slots get engines
+	// too: they are never queried, but keeping every slot uniform means a
+	// later Compact (or slot-level tooling) never meets a nil engine.
+	v.Engines = make([]*prob.Engine, n)
 	engErrs := make([]error, n)
 	pool.ForEachIndex(n, normalizeWorkers(-1, n), func(gi int) {
-		db.Engines[gi], engErrs[gi] = prob.NewEngine(db.Graphs[gi])
+		v.Engines[gi], engErrs[gi] = prob.NewEngine(v.Graphs[gi])
 	})
 	for gi, err := range engErrs {
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot graph %d engine: %w", gi, err)
 		}
 	}
-	return db, nil
+	return newFromView(v), nil
 }
 
 // snapLine reads the next non-blank, non-comment line, trimmed.

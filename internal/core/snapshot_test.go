@@ -61,15 +61,15 @@ func TestSnapshotRoundTripIdentity(t *testing.T) {
 	if got.Len() != db.Len() {
 		t.Fatalf("reloaded %d graphs, want %d", got.Len(), db.Len())
 	}
-	if got.PMI == nil || got.PMI.NumFeatures() != db.PMI.NumFeatures() {
-		t.Fatalf("PMI features: got %v, want %d", got.PMI, db.PMI.NumFeatures())
+	if got.PMI() == nil || got.PMI().NumFeatures() != db.PMI().NumFeatures() {
+		t.Fatalf("PMI features: got %v, want %d", got.PMI(), db.PMI().NumFeatures())
 	}
-	if len(got.Features) != len(db.Features) {
-		t.Fatalf("mined features: got %d, want %d", len(got.Features), len(db.Features))
+	if len(got.Features()) != len(db.Features()) {
+		t.Fatalf("mined features: got %d, want %d", len(got.Features()), len(db.Features()))
 	}
-	for fi := range db.PMI.Entries {
-		for gi := range db.PMI.Entries[fi] {
-			a, b := db.PMI.Entries[fi][gi], got.PMI.Entries[fi][gi]
+	for fi := range db.PMI().Entries {
+		for gi := range db.PMI().Entries[fi] {
+			a, b := db.PMI().Entries[fi][gi], got.PMI().Entries[fi][gi]
 			if a != b {
 				t.Fatalf("PMI entry (%d,%d) changed: %+v != %+v", fi, gi, b, a)
 			}
@@ -156,21 +156,21 @@ func TestSnapshotIncrementalAddGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	pg := extra.Graphs[0]
-	wi, err := db.AddGraph(pg)
+	wi, _, err := db.AddGraph(pg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := got.AddGraph(pg)
+	hi, _, err := got.AddGraph(pg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wi != hi {
 		t.Fatalf("AddGraph index %d != %d", hi, wi)
 	}
-	for fi := range db.PMI.Entries {
-		if db.PMI.Entries[fi][wi] != got.PMI.Entries[fi][hi] {
+	for fi := range db.PMI().Entries {
+		if db.PMI().Entries[fi][wi] != got.PMI().Entries[fi][hi] {
 			t.Fatalf("incremental PMI column diverged at feature %d: %+v != %+v",
-				fi, got.PMI.Entries[fi][hi], db.PMI.Entries[fi][wi])
+				fi, got.PMI().Entries[fi][hi], db.PMI().Entries[fi][wi])
 		}
 	}
 
@@ -206,7 +206,7 @@ func TestSnapshotNoPMI(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := roundTrip(t, db)
-	if got.PMI != nil {
+	if got.PMI() != nil {
 		t.Fatal("reloaded database unexpectedly has a PMI")
 	}
 	q := snapQueries(t, raw, 1)[0]

@@ -40,16 +40,16 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(seed + 1))
-		q := dataset.ExtractQuery(db.Certain[int(seed)%len(db.Certain)], 4, rng)
+		q := dataset.ExtractQuery(db.Certain()[int(seed)%len(db.Certain())], 4, rng)
 		if q.NumEdges() < 2 {
 			return true
 		}
 		const delta = 1
 		u := relax.Relaxed(q, delta, 0)
-		scq, _ := db.Struct.SCq(q, delta, 1)
+		scq, _ := db.Struct().SCq(q, delta, 1)
 		for _, optBounds := range []bool{false, true} {
 			qo := QueryOptions{Epsilon: 0.5, Delta: delta, OptBounds: optBounds, Seed: seed}
-			pr, err := db.newPruner(context.Background(), u, qo.withDefaults(), nil)
+			pr, err := db.View().newPruner(context.Background(), u, qo.withDefaults(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +58,7 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				entries := db.PMI.Lookup(gi)
+				entries := db.PMI().Lookup(gi)
 				rng := rand.New(rand.NewSource(candSeed(qo.Seed^pruneSalt, gi)))
 				upper := pr.upperBound(entries, rng)
 				lower := pr.lowerBound(entries, rng)
@@ -101,17 +101,17 @@ func TestStructuralPruningNeverDropsAnswers(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(seed))
-		q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+		q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 		if q.NumEdges() < 2 {
 			return true
 		}
 		const delta = 1
-		scq, _ := db.Struct.SCq(q, delta, 1)
+		scq, _ := db.Struct().SCq(q, delta, 1)
 		inSCQ := make(map[int]bool, len(scq))
 		for _, gi := range scq {
 			inSCQ[gi] = true
 		}
-		for gi := range db.Graphs {
+		for gi := range db.Graphs() {
 			exact, err := db.ExactSSPByEnumeration(q, gi, delta)
 			if err != nil {
 				t.Fatal(err)

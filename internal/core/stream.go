@@ -44,6 +44,14 @@ type Match struct {
 // Matches that were already yielded are never retracted; a consumer that
 // only needs the first few answers can break as soon as it has them.
 func (db *Database) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions) iter.Seq2[Match, error] {
+	// The view is pinned here — when the stream is created — not when the
+	// consumer starts ranging; either way no mutation committed later can
+	// reach a started stream.
+	return db.View().QueryStream(ctx, q, opt)
+}
+
+// QueryStream on a pinned View; see the Database method.
+func (v *View) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions) iter.Seq2[Match, error] {
 	return func(yield func(Match, error) bool) {
 		opt = opt.withDefaults()
 		if err := opt.Validate(); err != nil {
@@ -58,7 +66,10 @@ func (db *Database) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOp
 		// Degenerate relaxation: δ ≥ |q| admits every graph with SSP 1
 		// (see query); stream them in index order.
 		if opt.Delta >= q.NumEdges() {
-			for gi := range db.Graphs {
+			for gi := range v.Graphs {
+				if !v.Live(gi) {
+					continue
+				}
 				if err := ctx.Err(); err != nil {
 					yield(Match{}, err)
 					return
@@ -70,15 +81,15 @@ func (db *Database) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOp
 			return
 		}
 
-		scq, _, err := db.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+		scq, _, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
 		if err != nil {
 			yield(Match{}, err)
 			return
 		}
 		u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
 		var pr *pruner
-		if !opt.SkipProbPruning && db.PMI != nil {
-			pr, err = db.newPruner(ctx, u, opt, nil)
+		if !opt.SkipProbPruning && v.PMI != nil {
+			pr, err = v.newPruner(ctx, u, opt, nil)
 			if err != nil {
 				yield(Match{}, err)
 				return
@@ -106,7 +117,7 @@ func (db *Database) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOp
 			defer close(finished)
 			forEachIndexCtx(inner, len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
 				gi := scq[i]
-				o := db.evalCandidate(q, u, pr, gi, opt)
+				o := v.evalCandidate(q, u, pr, gi, opt)
 				if o.err != nil {
 					select {
 					case out <- item{err: o.err}:

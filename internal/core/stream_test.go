@@ -37,7 +37,7 @@ func TestQueryStreamCollectEqualsQuery(t *testing.T) {
 	for _, optBounds := range []bool{false, true} {
 		for _, vk := range []VerifierKind{VerifierSMP, VerifierNone} {
 			for _, qi := range qs {
-				q := dataset.ExtractQuery(db.Certain[qi], 4, rng)
+				q := dataset.ExtractQuery(db.Certain()[qi], 4, rng)
 				for seed := int64(1); seed <= 3; seed++ {
 					opt := QueryOptions{
 						Epsilon: 0.4, Delta: 1, OptBounds: optBounds, Verifier: vk,
@@ -88,7 +88,7 @@ func TestQueryStreamCollectEqualsQuery(t *testing.T) {
 func TestQueryStreamEarlyBreak(t *testing.T) {
 	db, _ := smallDatabase(t, 3002, 10, true)
 	rng := rand.New(rand.NewSource(91))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	opt := QueryOptions{Epsilon: 0.3, Delta: 2, OptBounds: true, Seed: 7}
 	want, err := db.Query(q, opt)
 	if err != nil {
@@ -171,7 +171,7 @@ func TestQueryStreamCancelMidStream(t *testing.T) {
 func TestQueryStreamPreCancelled(t *testing.T) {
 	db, _ := smallDatabase(t, 3003, 6, true)
 	rng := rand.New(rand.NewSource(97))
-	q := dataset.ExtractQuery(db.Certain[0], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 4, rng)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	n, errs := 0, 0
@@ -196,7 +196,7 @@ func TestQueryStreamPreCancelled(t *testing.T) {
 func TestQueryStreamDegenerateDelta(t *testing.T) {
 	db, _ := smallDatabase(t, 3004, 6, true)
 	rng := rand.New(rand.NewSource(101))
-	q := dataset.ExtractQuery(db.Certain[0], 3, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 3, rng)
 	opt := QueryOptions{Epsilon: 0.4, Delta: q.NumEdges()}
 	var got []Match
 	for m, err := range db.QueryStream(context.Background(), q, opt) {
@@ -220,7 +220,7 @@ func TestQueryStreamDegenerateDelta(t *testing.T) {
 func TestQueryStreamBadOptions(t *testing.T) {
 	db, _ := smallDatabase(t, 3005, 6, true)
 	rng := rand.New(rand.NewSource(103))
-	q := dataset.ExtractQuery(db.Certain[0], 3, rng)
+	q := dataset.ExtractQuery(db.Certain()[0], 3, rng)
 	for _, opt := range []QueryOptions{
 		{Epsilon: 1.5, Delta: 1},
 		{Epsilon: 0.4, Delta: -1},

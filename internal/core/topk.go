@@ -34,7 +34,13 @@ type TopKItem struct {
 // bounded and its results are discarded, costing only wasted work, never
 // a changed answer.
 func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
-	return db.QueryTopKCtx(context.Background(), q, k, opt)
+	return db.View().QueryTopKCtx(context.Background(), q, k, opt)
+}
+
+// QueryTopK on a pinned View is QueryTopK against exactly that
+// generation.
+func (v *View) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
+	return v.QueryTopKCtx(context.Background(), q, k, opt)
 }
 
 // QueryTopKCtx is QueryTopK under a context. Cancellation is checked at
@@ -44,6 +50,11 @@ func (db *Database) QueryTopK(q *graph.Graph, k int, opt QueryOptions) ([]TopKIt
 // promptly without leaking goroutines. An uncancelled call returns exactly
 // QueryTopK's ranking.
 func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
+	return db.View().QueryTopKCtx(ctx, q, k, opt)
+}
+
+// QueryTopKCtx on a pinned View; see the Database method.
+func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt QueryOptions) ([]TopKItem, error) {
 	opt = opt.withDefaults()
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive")
@@ -56,12 +67,15 @@ func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt
 	}
 	if opt.Delta >= q.NumEdges() {
 		out := make([]TopKItem, 0, k)
-		for gi := 0; gi < db.Len() && len(out) < k; gi++ {
+		for gi := 0; gi < v.Len() && len(out) < k; gi++ {
+			if !v.Live(gi) {
+				continue
+			}
 			out = append(out, TopKItem{Graph: gi, SSP: 1})
 		}
 		return out, nil
 	}
-	scq, _, err := db.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	scq, _, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -79,15 +93,15 @@ func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt
 		upper float64
 	}
 	cands := make([]cand, len(scq))
-	if db.PMI != nil {
-		pr, err := db.newPruner(ctx, u, opt, nil)
+	if v.PMI != nil {
+		pr, err := v.newPruner(ctx, u, opt, nil)
 		if err != nil {
 			return nil, err
 		}
 		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
 			gi := scq[i]
 			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
-			ub := pr.upperBound(db.PMI.Lookup(gi), rng)
+			ub := pr.upperBound(v.PMI.Lookup(gi), rng)
 			if ub > 1 {
 				ub = 1
 			}
@@ -207,7 +221,7 @@ func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt
 			next++
 			mu.Unlock()
 
-			ssp, err := db.VerifySSP(q, u, cands[i].gi, opt)
+			ssp, err := v.VerifySSP(q, u, cands[i].gi, opt)
 
 			mu.Lock()
 			ssps[i], errs[i], done[i] = ssp, err, true
@@ -257,7 +271,13 @@ func (db *Database) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt
 // the query-side feature/relaxed-query isomorphism tests that dominate
 // pruner setup when the batch's queries overlap structurally.
 func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
-	return db.QueryBatchCtx(context.Background(), qs, opt)
+	return db.View().QueryBatchCtx(context.Background(), qs, opt)
+}
+
+// QueryBatch on a pinned View is QueryBatch against exactly that
+// generation.
+func (v *View) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
+	return v.QueryBatchCtx(context.Background(), qs, opt)
 }
 
 // QueryBatchCtx is QueryBatch under a context. The context is shared by
@@ -266,12 +286,18 @@ func (db *Database) QueryBatch(qs []*graph.Graph, opt QueryOptions) ([]*Result, 
 // (nil, ctx.Err()); there are no partial batch results. An uncancelled
 // call returns exactly QueryBatch's results.
 func (db *Database) QueryBatchCtx(ctx context.Context, qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
+	return db.View().QueryBatchCtx(ctx, qs, opt)
+}
+
+// QueryBatchCtx on a pinned View: every member query runs against the
+// same generation — a batch is one consistent read of the database.
+func (v *View) QueryBatchCtx(ctx context.Context, qs []*graph.Graph, opt QueryOptions) ([]*Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
 	workers := normalizeWorkers(opt.Concurrency, len(qs))
 	inner := 1
-	if w := normalizeWorkers(opt.Concurrency, len(qs)*db.Len()); w > workers {
+	if w := normalizeWorkers(opt.Concurrency, len(qs)*v.Len()); w > workers {
 		inner = w / workers
 	}
 	cache := newRelCache()
@@ -285,7 +311,7 @@ func (db *Database) QueryBatchCtx(ctx context.Context, qs []*graph.Graph, opt Qu
 		qo := opt
 		qo.Seed = BatchSeed(opt.Seed, i)
 		qo.Concurrency = inner
-		results[i], errs[i] = db.query(ctx, qs[i], qo, cache)
+		results[i], errs[i] = v.query(ctx, qs[i], qo, cache)
 		if errs[i] != nil {
 			abort.Store(true)
 		}

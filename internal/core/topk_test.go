@@ -13,7 +13,7 @@ import (
 func TestQueryTopKMatchesExactRanking(t *testing.T) {
 	db, _ := smallDatabase(t, 909, 8, true)
 	rng := rand.New(rand.NewSource(21))
-	q := dataset.ExtractQuery(db.Certain[2], 4, rng)
+	q := dataset.ExtractQuery(db.Certain()[2], 4, rng)
 	const k = 3
 	got, err := db.QueryTopK(q, k, QueryOptions{
 		Delta: 1, OptBounds: true,
@@ -29,7 +29,7 @@ func TestQueryTopKMatchesExactRanking(t *testing.T) {
 		ssp float64
 	}
 	var all []item
-	for gi := range db.Graphs {
+	for gi := range db.Graphs() {
 		p, err := db.ExactSSPByEnumeration(q, gi, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +61,7 @@ func TestQueryTopKMatchesExactRanking(t *testing.T) {
 
 func TestQueryTopKValidation(t *testing.T) {
 	db, _ := smallDatabase(t, 910, 4, false)
-	q := db.Certain[0]
+	q := db.Certain()[0]
 	if _, err := db.QueryTopK(q, 0, QueryOptions{Delta: 1}); err == nil {
 		t.Fatal("k=0 must be rejected")
 	}
@@ -95,7 +95,7 @@ func TestQueryBatchMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	var qs []*graph.Graph
 	for i := 0; i < 5; i++ {
-		qs = append(qs, dataset.ExtractQuery(db.Certain[i%len(db.Certain)], 4, rng))
+		qs = append(qs, dataset.ExtractQuery(db.Certain()[i%len(db.Certain())], 4, rng))
 	}
 	opt := QueryOptions{
 		Epsilon: 0.4, Delta: 1, OptBounds: true,

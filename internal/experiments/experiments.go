@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"time"
@@ -453,7 +454,7 @@ func (e *Env) Fig12() ([]*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		a.AddRow(maxL, structureBaseline, c, db.Build.Features)
+		a.AddRow(maxL, structureBaseline, c, db.Build().Features)
 	}
 
 	b := stats.NewTable("Figure 12b — candidate size vs α",
@@ -465,7 +466,7 @@ func (e *Env) Fig12() ([]*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.AddRow(alpha, structureBaseline, c, db.Build.Features)
+		b.AddRow(alpha, structureBaseline, c, db.Build().Features)
 	}
 
 	c := stats.NewTable("Figure 12c — index building time vs β",
@@ -478,7 +479,7 @@ func (e *Env) Fig12() ([]*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.AddRow(beta, ms(time.Since(start)), db.Build.Features)
+		c.AddRow(beta, ms(time.Since(start)), db.Build().Features)
 	}
 
 	d := stats.NewTable("Figure 12d — index size vs γ",
@@ -490,7 +491,7 @@ func (e *Env) Fig12() ([]*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.AddRow(gamma, float64(db.Build.IndexSizeBytes)/1024, db.Build.Features)
+		d.AddRow(gamma, float64(db.Build().IndexSizeBytes)/1024, db.Build().Features)
 	}
 	return []*stats.Table{a, b, c, d}, nil
 }
@@ -804,3 +805,127 @@ func (e *Env) Filter(workerCounts []int) (*stats.Table, error) {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Churn profiles query latency under a mutating database — the figure
+// behind `pgbench -fig churn`. For each mutation rate (mutations per
+// second; 0 means a static database), a background writer alternates
+// AddGraph and RemoveGraph against a private copy of the environment's
+// database while the measurement loop runs the default query workload,
+// one query at a time. Reported per rate: query p50/p99 latency, the
+// number of mutations the writer committed, and the final generation.
+//
+// Because queries pin generation views, the writer never blocks a query —
+// the interesting signal is how much the copy-on-write churn (index
+// cloning, allocation pressure) moves the tail, not lock contention.
+func (e *Env) Churn(rates []float64) (*stats.Table, error) {
+	if len(rates) == 0 {
+		rates = []float64{0, 20, 100}
+	}
+	// Insert pool: graphs from the same distribution, distinct seed.
+	pool, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 8, MinVertices: e.P.minV, MaxVertices: e.P.maxV,
+		Organisms: e.P.organisms, Correlated: true, Seed: e.Cfg.Seed + 977,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs := e.Queries[e.P.defaultQuerySize]
+	// Run at least this many queries AND at least this long (under a hard
+	// cap), so slow writers actually get to interleave mutations with the
+	// measured queries instead of never ticking.
+	const (
+		minQueriesPerRate = 24
+		maxQueriesPerRate = 400
+	)
+	const minMeasure = 600 * time.Millisecond
+
+	t := stats.NewTable("Query latency under churn — background writer at fixed mutation rates",
+		"rate mut/s", "p50 ms", "p99 ms", "queries", "mutations", "generation")
+	for _, rate := range rates {
+		// A private database per rate: churn must not leak into other
+		// figures (or other rates).
+		db, err := core.NewDatabase(e.Raw.Graphs, buildOpt(true, e.Cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+
+		// writerDone is buffered so the writer can always deliver its
+		// count and exit, even when the measurement loop bails on a query
+		// error without draining it.
+		stop := make(chan struct{})
+		writerDone := make(chan int, 1)
+		if rate > 0 {
+			go func() {
+				mutations := 0
+				defer func() { writerDone <- mutations }()
+				tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+				defer tick.Stop()
+				var added []int
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					// Alternate insert and remove so the database size
+					// stays bounded while every mutation path is exercised.
+					if len(added) == 0 || i%2 == 0 {
+						gi, _, err := db.AddGraph(pool.Graphs[i%len(pool.Graphs)])
+						if err == nil {
+							added = append(added, gi)
+							mutations++
+						}
+					} else {
+						gi := added[len(added)-1]
+						added = added[:len(added)-1]
+						if _, err := db.RemoveGraph(gi); err == nil {
+							mutations++
+						}
+					}
+				}
+			}()
+		}
+
+		lat := make([]float64, 0, minQueriesPerRate)
+		opt := e.defaultQO(e.Cfg.Seed)
+		measureStart := time.Now()
+		for i := 0; i < maxQueriesPerRate; i++ {
+			if i >= minQueriesPerRate && (rate == 0 || time.Since(measureStart) >= minMeasure) {
+				break
+			}
+			q := qs[i%len(qs)]
+			start := time.Now()
+			if _, err := db.Query(q, opt); err != nil {
+				close(stop)
+				return nil, err
+			}
+			lat = append(lat, ms(time.Since(start)))
+		}
+		mutations := 0
+		if rate > 0 {
+			close(stop)
+			mutations = <-writerDone
+		}
+		slices.Sort(lat)
+		t.AddRow(rate, percentile(lat, 0.50), percentile(lat, 0.99),
+			len(lat), mutations, db.Generation())
+	}
+	return t, nil
+}
+
+// percentile reads the p-quantile of ascending xs by the nearest-rank
+// method: the smallest element with at least p·n observations at or
+// below it, so p99 of a small sample includes the true tail maximum.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

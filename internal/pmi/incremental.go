@@ -3,25 +3,27 @@ package pmi
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"probgraph/internal/iso"
 	"probgraph/internal/prob"
 )
 
-// AddGraph appends one column to the matrix: SIP bounds of every indexed
-// feature against the new graph. The feature vocabulary is not re-mined —
-// the standard trade-off for incremental maintenance of feature-based graph
-// indexes (pruning power for the new graph is bounded by the existing
-// features; rebuild periodically if the data distribution drifts).
-//
-// The column is computed in full before any row is extended, so a failed
-// AddGraph leaves the index exactly as it was — no ragged rows.
-func (idx *Index) AddGraph(pg *prob.PGraph, eng *prob.Engine) error {
+// This file holds the copy-on-write mutation constructors of the index.
+// An Index is immutable once published: WithColumn, WithMaskedColumn,
+// WithReplacedColumn, and CompactedColumns each return a new Index that
+// shares every untouched row with its predecessor, so queries holding an
+// older Index (a pinned generation view, see internal/core) never observe
+// the mutation. The feature vocabulary is never re-mined — the standard
+// trade-off for incremental maintenance of feature-based graph indexes
+// (pruning power for new graphs is bounded by the existing features;
+// rebuild periodically if the data distribution drifts).
+
+// column computes the new graph's SIP-bound column against every indexed
+// feature, in full, before any structural change happens — a failed
+// computation leaves nothing to undo.
+func (idx *Index) column(pg *prob.PGraph, eng *prob.Engine, gi int) ([]Entry, error) {
 	opt := idx.Opt.withDefaults()
-	gi := 0
-	if len(idx.Entries) > 0 {
-		gi = len(idx.Entries[0])
-	}
 	b := &graphBuilder{
 		opt: opt, pg: pg, eng: eng,
 		rng: rand.New(rand.NewSource(opt.Seed ^ int64(gi)*0x9e3779b97f4a7c)),
@@ -33,12 +35,142 @@ func (idx *Index) AddGraph(pg *prob.PGraph, eng *prob.Engine) error {
 		}
 		entry, err := b.bounds(fg)
 		if err != nil {
-			return fmt.Errorf("pmi: feature %d on new graph: %w", fi, err)
+			return nil, fmt.Errorf("pmi: feature %d on graph %d: %w", fi, gi, err)
 		}
 		column[fi] = entry
 	}
-	for fi := range idx.Entries {
-		idx.Entries[fi] = append(idx.Entries[fi], column[fi])
-	}
-	return nil
+	return column, nil
 }
+
+// clone returns a shallow struct copy — the starting point of every
+// copy-on-write constructor.
+func (idx *Index) clone() *Index {
+	cp := *idx
+	return &cp
+}
+
+// numGraphs returns the column count of the matrix. Indexes loaded from
+// pre-generation files (or hand-assembled in tests) may not carry cols;
+// they fall back to the first row's length — correct whenever a row
+// exists at all.
+func (idx *Index) numGraphs() int {
+	if idx.cols > 0 || len(idx.Entries) == 0 {
+		return idx.cols
+	}
+	return len(idx.Entries[0])
+}
+
+// WithColumn returns a new Index extended by one column: SIP bounds of
+// every indexed feature against the new graph. Row appends reuse the
+// receiver's backing arrays when capacity allows, writing only beyond the
+// receiver's length — invisible to readers of the old Index; mutations
+// form a linear chain (serialized by core's writer lock), so a backing
+// slot is written at most once after becoming reachable.
+func (idx *Index) WithColumn(pg *prob.PGraph, eng *prob.Engine) (*Index, error) {
+	gi := idx.numGraphs()
+	column, err := idx.column(pg, eng, gi)
+	if err != nil {
+		return nil, err
+	}
+	n := idx.clone()
+	n.cols = gi + 1
+	n.Entries = slices.Clone(idx.Entries)
+	for fi := range n.Entries {
+		n.Entries[fi] = append(idx.Entries[fi], column[fi])
+	}
+	if idx.masked != nil {
+		n.masked = append(idx.masked, false)
+	}
+	return n, nil
+}
+
+// WithMaskedColumn returns a new Index with column gi masked: Lookup
+// callers are expected never to ask for a masked (tombstoned) graph, and
+// Save writes the column as uncontained — the paper's ⟨0⟩ — so the dead
+// graph's bounds leave the persisted matrix immediately. O(numGraphs),
+// no row is copied.
+func (idx *Index) WithMaskedColumn(gi int) *Index {
+	return idx.WithMaskedColumns([]int{gi})
+}
+
+// WithMaskedColumns is the bulk form of WithMaskedColumn (snapshot
+// loads, AttachPMI re-masking).
+func (idx *Index) WithMaskedColumns(ids []int) *Index {
+	if len(ids) == 0 {
+		return idx
+	}
+	n := idx.clone()
+	// Size the mask to cover every requested slot even when the index
+	// cannot tell its own column count (zero-feature vocabulary loaded
+	// from a pre-generation file): the caller's slot ids are validated
+	// against the database, which is the authority the mask serves.
+	size := idx.numGraphs()
+	for _, gi := range ids {
+		if gi >= size {
+			size = gi + 1
+		}
+	}
+	n.masked = make([]bool, size)
+	copy(n.masked, idx.masked)
+	for _, gi := range ids {
+		if !n.masked[gi] {
+			n.masked[gi] = true
+			n.maskCount++
+		}
+	}
+	return n
+}
+
+// WithReplacedColumn returns a new Index whose column gi holds the bounds
+// of pg instead. Every row is copied (the column cuts across all of
+// them); the replaced slot's mask, if any, is cleared.
+func (idx *Index) WithReplacedColumn(gi int, pg *prob.PGraph, eng *prob.Engine) (*Index, error) {
+	column, err := idx.column(pg, eng, gi)
+	if err != nil {
+		return nil, err
+	}
+	n := idx.clone()
+	n.Entries = slices.Clone(idx.Entries)
+	for fi := range n.Entries {
+		row := slices.Clone(idx.Entries[fi])
+		row[gi] = column[fi]
+		n.Entries[fi] = row
+	}
+	if idx.masked != nil && idx.masked[gi] {
+		n.masked = slices.Clone(idx.masked)
+		n.masked[gi] = false
+		n.maskCount--
+	}
+	return n, nil
+}
+
+// CompactedColumns returns a new Index without the masked columns:
+// surviving columns keep their relative order and are renumbered
+// contiguously, matching the database compaction that drops the
+// tombstoned graphs.
+func (idx *Index) CompactedColumns() *Index {
+	if idx.maskCount == 0 {
+		return idx
+	}
+	n := idx.clone()
+	n.Entries = make([][]Entry, len(idx.Entries))
+	for fi, row := range idx.Entries {
+		nr := make([]Entry, 0, len(row)-idx.maskCount)
+		for gi, e := range row {
+			if idx.masked[gi] {
+				continue
+			}
+			nr = append(nr, e)
+		}
+		n.Entries[fi] = nr
+	}
+	n.masked, n.maskCount = nil, 0
+	n.cols = idx.numGraphs() - idx.maskCount
+	return n
+}
+
+// Masked reports whether column gi is masked (tombstoned).
+func (idx *Index) Masked(gi int) bool { return idx.masked != nil && idx.masked[gi] }
+
+// MaskedColumns returns the number of masked columns.
+func (idx *Index) MaskedColumns() int { return idx.maskCount }

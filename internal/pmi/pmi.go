@@ -108,13 +108,29 @@ type Entry struct {
 	Upper     float64
 }
 
-// Index is the probabilistic matrix index.
+// Index is the probabilistic matrix index. It is immutable once
+// published; the copy-on-write constructors in incremental.go (WithColumn,
+// WithMaskedColumn, WithReplacedColumn, CompactedColumns) return new
+// indexes sharing untouched rows with their predecessor.
 type Index struct {
 	Features []*graph.Graph
 	Codes    []string
 	// Entries[fi][gi] bounds Pr(Features[fi] ⊆iso db[gi]).
 	Entries [][]Entry
 	Opt     Options
+
+	// masked marks tombstoned columns (nil = none); maskCount counts
+	// them. Masked columns keep their in-memory entries (the row slices
+	// are shared with older index generations) but Save writes them as
+	// uncontained and Lookup is never called for them.
+	masked    []bool
+	maskCount int
+
+	// cols is the authoritative column (graph) count. It cannot be
+	// derived from Entries when the mined vocabulary is empty — there is
+	// no row to measure — and the mutation constructors need it even
+	// then.
+	cols int
 }
 
 // Build constructs the PMI for the database. engines[i] must be an
@@ -125,7 +141,7 @@ func Build(db []*prob.PGraph, engines []*prob.Engine, feats []*feature.Feature, 
 	if len(db) != len(engines) {
 		return nil, fmt.Errorf("pmi: %d graphs but %d engines", len(db), len(engines))
 	}
-	idx := &Index{Opt: opt}
+	idx := &Index{Opt: opt, cols: len(db)}
 	for _, f := range feats {
 		idx.Features = append(idx.Features, f.G)
 		idx.Codes = append(idx.Codes, f.Code)

@@ -24,11 +24,7 @@ import (
 // Save writes the index to w.
 func (idx *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	numGraphs := 0
-	if len(idx.Entries) > 0 {
-		numGraphs = len(idx.Entries[0])
-	}
-	if _, err := fmt.Fprintf(bw, "pmi v1 %d %d\n", len(idx.Features), numGraphs); err != nil {
+	if _, err := fmt.Fprintf(bw, "pmi v1 %d %d\n", len(idx.Features), idx.numGraphs()); err != nil {
 		return err
 	}
 	for fi, fg := range idx.Features {
@@ -36,15 +32,19 @@ func (idx *Index) Save(w io.Writer) error {
 		if err := graph.Encode(bw, fg); err != nil {
 			return err
 		}
+		// Masked (tombstoned) columns serialize as uncontained — the
+		// paper's ⟨0⟩ — so a dead graph's bounds leave the persisted
+		// matrix; the loader re-applies the mask from the snapshot's
+		// tombstone list, which keeps save→load→save byte-stable.
 		contained := 0
-		for _, e := range idx.Entries[fi] {
-			if e.Contained {
+		for gi, e := range idx.Entries[fi] {
+			if e.Contained && !idx.Masked(gi) {
 				contained++
 			}
 		}
 		fmt.Fprintf(bw, "row %d %d\n", fi, contained)
 		for gi, e := range idx.Entries[fi] {
-			if e.Contained {
+			if e.Contained && !idx.Masked(gi) {
 				fmt.Fprintf(bw, "%d %.17g %.17g\n", gi, e.Lower, e.Upper)
 			}
 		}
@@ -73,7 +73,7 @@ func LoadFromScanner(sc *bufio.Scanner) (*Index, error) {
 	if _, err := fmt.Sscanf(header, "pmi v1 %d %d", &nf, &ng); err != nil {
 		return nil, fmt.Errorf("pmi: bad header %q", header)
 	}
-	idx := &Index{}
+	idx := &Index{cols: ng}
 	dec := graph.NewDecoderFromScanner(sc)
 	for fi := 0; fi < nf; fi++ {
 		line, err := readNonEmpty(sc)

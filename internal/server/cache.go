@@ -75,15 +75,6 @@ func (c *lruCache) Put(key string, value any) {
 	}
 }
 
-// Purge empties the cache (database mutation invalidates every result) but
-// keeps the hit/miss counters.
-func (c *lruCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element)
-}
-
 // Len returns the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

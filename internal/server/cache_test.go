@@ -34,13 +34,6 @@ func TestLRUBasics(t *testing.T) {
 	if hits != 3 || misses != 2 {
 		t.Fatalf("counters = (%d, %d), want (3, 2)", hits, misses)
 	}
-	c.Purge()
-	if c.Len() != 0 {
-		t.Fatal("purge left entries")
-	}
-	if _, ok := c.Get("a"); ok {
-		t.Fatal("hit after purge")
-	}
 }
 
 func TestLRUUpdateExisting(t *testing.T) {

@@ -32,6 +32,10 @@ type Options struct {
 	// that outlives its deadline is cancelled (candidate granularity) and
 	// answered with a structured HTTP 504 — never a hung connection.
 	Timeout time.Duration
+	// MutationLog, when set, is called once per committed mutation
+	// (add/remove/replace) with the old→new generation transition —
+	// pgserve wires it to one structured log line per mutation.
+	MutationLog func(MutationEvent)
 }
 
 func (o Options) withDefaults() Options {
@@ -47,12 +51,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server answers T-PS queries over one resident Database. Queries take the
-// read lock and run concurrently; /graphs ingestion takes the write lock
-// and purges the result cache. All randomness stays seeded per request, so
-// a response is bitwise-identical to the corresponding library call.
+// MutationEvent describes one committed mutation for logging.
+type MutationEvent struct {
+	Op            string // "add", "remove", "replace"
+	Index         int    // slot the mutation targeted (or created)
+	OldGeneration uint64
+	NewGeneration uint64
+	LiveGraphs    int
+	Tombstoned    int
+	Compacted     bool // the mutation triggered auto-compaction
+}
+
+// Server answers T-PS queries over one resident Database. The query path
+// is lock-free: every request pins the database's current generation view
+// and evaluates against it, so mutations (POST/DELETE/PUT /graphs...)
+// never block a query and a query never observes a half-applied mutation
+// — the old RWMutex is gone. Result-cache entries are keyed by the
+// generation they were computed under, which invalidates exactly the
+// stale entries (they simply stop being looked up and age out of the
+// LRU); nothing is purged on mutation. All randomness stays seeded per
+// request, so a response is bitwise-identical to the corresponding
+// library call against the same generation.
 type Server struct {
-	mu    sync.RWMutex
 	db    *core.Database
 	opt   Options
 	cache *lruCache
@@ -61,6 +81,7 @@ type Server struct {
 	start    time.Time
 	queries  atomic.Int64
 	inflight atomic.Int64
+	genStats genCounters
 	mux      *http.ServeMux
 }
 
@@ -81,7 +102,9 @@ func New(db *core.Database, opt Options) *Server {
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/batch", s.handleBatch)
-	s.mux.HandleFunc("/graphs", s.handleGraphs)
+	s.mux.HandleFunc("POST /graphs", s.handleAddGraph)
+	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleRemoveGraph)
+	s.mux.HandleFunc("PUT /graphs/{id}", s.handleReplaceGraph)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -146,14 +169,17 @@ func statsJSON(st core.Stats) StatsJSON {
 // QueryResponse is the /query reply. Answers lists matching graph indices
 // ascending; SSP maps verified indices to their estimated subgraph
 // similarity probability (-1 for direct accepts, exactly as the library
-// reports them). Cached marks responses served from the result cache.
+// reports them). Generation is the database generation the query ran
+// against; Cached marks responses served from the result cache (computed
+// under that same generation).
 type QueryResponse struct {
-	Answers []int           `json:"answers"`
-	Names   []string        `json:"names"`
-	SSP     map[int]float64 `json:"ssp"`
-	Stats   StatsJSON       `json:"stats"`
-	Cached  bool            `json:"cached"`
-	TimeMS  float64         `json:"time_ms"`
+	Answers    []int           `json:"answers"`
+	Names      []string        `json:"names"`
+	SSP        map[int]float64 `json:"ssp"`
+	Stats      StatsJSON       `json:"stats"`
+	Generation uint64          `json:"generation"`
+	Cached     bool            `json:"cached"`
+	TimeMS     float64         `json:"time_ms"`
 }
 
 // TopKItemJSON is one /topk ranking entry.
@@ -165,9 +191,10 @@ type TopKItemJSON struct {
 
 // TopKResponse is the /topk reply.
 type TopKResponse struct {
-	Items  []TopKItemJSON `json:"items"`
-	Cached bool           `json:"cached"`
-	TimeMS float64        `json:"time_ms"`
+	Items      []TopKItemJSON `json:"items"`
+	Generation uint64         `json:"generation"`
+	Cached     bool           `json:"cached"`
+	TimeMS     float64        `json:"time_ms"`
 }
 
 // BatchRequest is the /batch payload: many queries sharing one option set.
@@ -192,41 +219,107 @@ type BatchResponse struct {
 	TimeMS  float64          `json:"time_ms"`
 }
 
-// AddGraphRequest is the /graphs ingestion payload: one probabilistic
-// graph as structured JSON (graph, with jpts) or a dataset pgraph text
-// block (graph_text).
+// AddGraphRequest is the POST /graphs ingestion (and PUT /graphs/{id}
+// replacement) payload: one probabilistic graph as structured JSON
+// (graph, with jpts) or a dataset pgraph text block (graph_text).
 type AddGraphRequest struct {
 	Graph     *GraphJSON `json:"graph,omitempty"`
 	GraphText string     `json:"graph_text,omitempty"`
 }
 
-// AddGraphResponse reports the new graph's database index.
-type AddGraphResponse struct {
-	Index  int `json:"index"`
-	Graphs int `json:"graphs"`
+// MutationResponse reports a committed mutation: the slot it targeted (or
+// created), the generation it produced, and the resulting live/tombstoned
+// counts. Compacted marks mutations whose tombstone count crossed the
+// auto-compaction threshold — graph indices were renumbered.
+type MutationResponse struct {
+	Op         string `json:"op"`
+	Index      int    `json:"index"`
+	Generation uint64 `json:"generation"`
+	Graphs     int    `json:"graphs"` // live graphs
+	Tombstoned int    `json:"tombstoned"`
+	Compacted  bool   `json:"compacted,omitempty"`
 }
 
-// StatsResponse is the /stats reply. StructShards/StructPostings describe
-// the inverted structural index (postings shards and total level-posting
-// entries); both are 0 when the database has no structural filter.
+// GenCacheJSON is one generation's result-cache hit/miss counters.
+type GenCacheJSON struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// StatsResponse is the /stats reply. Graphs counts slots (tombstoned
+// included), LiveGraphs the queryable ones. StructShards/StructPostings
+// describe the inverted structural index (postings shards and total
+// level-posting entries); both are 0 when the database has no structural
+// filter. CacheGenerations maps recent generation numbers (decimal
+// strings) to their result-cache hit/miss counters.
 type StatsResponse struct {
-	Graphs         int     `json:"graphs"`
-	PMIFeatures    int     `json:"pmi_features"`
-	StructShards   int     `json:"struct_shards"`
-	StructPostings int     `json:"struct_postings"`
-	IndexBytes     int     `json:"index_bytes"`
-	UptimeMS       float64 `json:"uptime_ms"`
-	Queries        int64   `json:"queries"`
-	Inflight       int64   `json:"inflight"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEntries   int     `json:"cache_entries"`
-	CacheCap       int     `json:"cache_cap"`
-	Workers        int     `json:"workers"`
+	Graphs           int                     `json:"graphs"`
+	LiveGraphs       int                     `json:"live_graphs"`
+	TombstonedGraphs int                     `json:"tombstoned_graphs"`
+	Generation       uint64                  `json:"generation"`
+	PMIFeatures      int                     `json:"pmi_features"`
+	StructShards     int                     `json:"struct_shards"`
+	StructPostings   int                     `json:"struct_postings"`
+	IndexBytes       int                     `json:"index_bytes"`
+	UptimeMS         float64                 `json:"uptime_ms"`
+	Queries          int64                   `json:"queries"`
+	Inflight         int64                   `json:"inflight"`
+	CacheHits        int64                   `json:"cache_hits"`
+	CacheMisses      int64                   `json:"cache_misses"`
+	CacheEntries     int                     `json:"cache_entries"`
+	CacheCap         int                     `json:"cache_cap"`
+	CacheGenerations map[string]GenCacheJSON `json:"cache_generations"`
+	Workers          int                     `json:"workers"`
 	// DefaultTimeoutMS is the server's per-request deadline default
 	// (Options.Timeout); 0 means queries run unbounded unless the request
 	// sets timeout_ms.
 	DefaultTimeoutMS float64 `json:"default_timeout_ms"`
+}
+
+// genCounters tracks per-generation result-cache hit/miss counts,
+// retaining the most recent maxTrackedGens generations.
+type genCounters struct {
+	mu sync.Mutex
+	m  map[uint64]*GenCacheJSON
+}
+
+const maxTrackedGens = 16
+
+func (g *genCounters) record(gen uint64, hit bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[uint64]*GenCacheJSON)
+	}
+	c := g.m[gen]
+	if c == nil {
+		c = &GenCacheJSON{}
+		g.m[gen] = c
+		for len(g.m) > maxTrackedGens {
+			oldest := gen
+			for k := range g.m {
+				if k < oldest {
+					oldest = k
+				}
+			}
+			delete(g.m, oldest)
+		}
+	}
+	if hit {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+}
+
+func (g *genCounters) snapshot() map[string]GenCacheJSON {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]GenCacheJSON, len(g.m))
+	for gen, c := range g.m {
+		out[strconv.FormatUint(gen, 10)] = *c
+	}
+	return out
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -295,11 +388,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody parses a JSON request body, enforcing the expected method
+// for mux patterns that are not method-qualified.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return false
 	}
+	return decodeJSONBody(w, r, v)
+}
+
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -326,7 +425,8 @@ func verifierKind(name string) (core.VerifierKind, error) {
 // only server-side default injected; everything result-affecting comes
 // from the request. Out-of-range ε/δ are rejected here — the error joins
 // the handlers' bad-request path (HTTP 400), distinguishing malformed
-// requests from evaluation failures (422).
+// requests from evaluation failures (422) on every query endpoint,
+// /query/stream included.
 func (s *Server) queryOptions(epsilon float64, delta int, verifier string, plain bool, seed int64, workers int) (core.QueryOptions, error) {
 	vk, err := verifierKind(verifier)
 	if err != nil {
@@ -349,21 +449,32 @@ func (s *Server) queryOptions(epsilon float64, delta int, verifier string, plain
 	return opt, nil
 }
 
-// cacheKey identifies one deterministic query outcome: the query's
-// canonical code plus every result-affecting option. Workers is excluded —
-// the engine guarantees identical results at any concurrency — so requests
-// differing only in pool size share an entry. Isomorphic query
-// presentations share an entry too (the canonical code is a complete
-// isomorphism invariant); the cached result is the one computed for the
-// first-seen presentation.
-func cacheKey(kind string, code string, opt core.QueryOptions, k int) string {
-	return kind + "\x00" + code + "\x00" +
+// cacheKey identifies one deterministic query outcome: the generation it
+// was computed under, the query's canonical code, and every
+// result-affecting option. Keying by generation is what replaces the old
+// purge-on-insert: a mutation bumps the generation, so every existing
+// entry simply stops being addressable and ages out of the LRU, while
+// queries against a pinned older view would never be served a younger
+// generation's result. Workers is excluded — the engine guarantees
+// identical results at any concurrency — so requests differing only in
+// pool size share an entry. Isomorphic query presentations share an entry
+// too (the canonical code is a complete isomorphism invariant); the
+// cached result is the one computed for the first-seen presentation.
+func cacheKey(kind string, gen uint64, code string, opt core.QueryOptions, k int) string {
+	return kind + "\x00" + strconv.FormatUint(gen, 10) + "\x00" + code + "\x00" +
 		strconv.FormatFloat(opt.Epsilon, 'x', -1, 64) + "\x00" +
 		strconv.Itoa(opt.Delta) + "\x00" +
 		strconv.Itoa(int(opt.Verifier)) + "\x00" +
 		strconv.FormatBool(opt.OptBounds) + "\x00" +
 		strconv.FormatInt(opt.Seed, 10) + "\x00" +
 		strconv.Itoa(k)
+}
+
+// cacheGet looks the key up and feeds the per-generation counters.
+func (s *Server) cacheGet(gen uint64, key string) (any, bool) {
+	v, ok := s.cache.Get(key)
+	s.genStats.record(gen, ok)
+	return v, ok
 }
 
 // acquire blocks until an inflight evaluation slot is free.
@@ -379,26 +490,29 @@ func (s *Server) acquire() func() {
 	}
 }
 
-func (s *Server) names(answers []int) []string {
-	names := make([]string, len(answers))
+// names resolves answer indices against the view the query ran on — never
+// the current database, which a concurrent mutation may have moved on.
+func names(v *core.View, answers []int) []string {
+	out := make([]string, len(answers))
 	for i, gi := range answers {
-		names[i] = s.db.Graphs[gi].G.Name()
+		out[i] = v.Graphs[gi].G.Name()
 	}
-	return names
+	return out
 }
 
-func (s *Server) queryResponse(res *core.Result, cached bool, elapsed time.Duration) *QueryResponse {
+func queryResponse(v *core.View, res *core.Result, cached bool, elapsed time.Duration) *QueryResponse {
 	answers := res.Answers
 	if answers == nil {
 		answers = []int{}
 	}
 	return &QueryResponse{
-		Answers: answers,
-		Names:   s.names(res.Answers),
-		SSP:     res.SSP,
-		Stats:   statsJSON(res.Stats),
-		Cached:  cached,
-		TimeMS:  float64(elapsed.Microseconds()) / 1000,
+		Answers:    answers,
+		Names:      names(v, res.Answers),
+		SSP:        res.SSP,
+		Stats:      statsJSON(res.Stats),
+		Generation: v.Generation,
+		Cached:     cached,
+		TimeMS:     float64(elapsed.Microseconds()) / 1000,
 	}
 }
 
@@ -424,39 +538,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	key := cacheKey("query", graph.CanonicalCode(q), opt, 0)
 
-	// The read lock covers evaluation and response construction only —
-	// never the response write, so a slow client cannot hold the lock and
-	// starve /graphs (whose pending write lock would in turn block every
-	// other request, /healthz included).
-	s.mu.RLock()
+	// Pin the current generation: evaluation, the cache key, and name
+	// resolution all use this one immutable view. A mutation committing
+	// mid-query neither blocks this request nor leaks into its result.
+	v := s.db.View()
 	s.queries.Add(1)
+	key := cacheKey("query", v.Generation, graph.CanonicalCode(q), opt, 0)
 	if !req.NoCache {
-		if v, ok := s.cache.Get(key); ok {
-			resp := s.queryResponse(v.(*core.Result), true, time.Since(start))
-			s.mu.RUnlock()
-			writeJSON(w, resp)
+		if cached, ok := s.cacheGet(v.Generation, key); ok {
+			writeJSON(w, queryResponse(v, cached.(*core.Result), true, time.Since(start)))
 			return
 		}
 	}
 	release := s.acquire()
-	res, err := s.db.QueryCtx(ctx, q, opt)
+	res, err := v.QueryCtx(ctx, q, opt)
 	release()
 	if err != nil {
 		// Cancelled and timed-out evaluations return an error, so they can
 		// never reach the cache Put below — a dead query never poisons the
 		// result cache.
-		s.mu.RUnlock()
 		evalError(w, "query failed", err)
 		return
 	}
 	if !req.NoCache {
 		s.cache.Put(key, res)
 	}
-	resp := s.queryResponse(res, false, time.Since(start))
-	s.mu.RUnlock()
-	writeJSON(w, resp)
+	writeJSON(w, queryResponse(v, res, false, time.Since(start)))
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -485,44 +593,38 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	key := cacheKey("topk", graph.CanonicalCode(q), opt, req.K)
 
-	// build assembles the response under the read lock (names need the
-	// database); the write happens after release.
+	v := s.db.View()
+	s.queries.Add(1)
+	key := cacheKey("topk", v.Generation, graph.CanonicalCode(q), opt, req.K)
+
 	build := func(items []core.TopKItem, cached bool) TopKResponse {
-		out := TopKResponse{Items: []TopKItemJSON{}, Cached: cached,
+		out := TopKResponse{Items: []TopKItemJSON{}, Generation: v.Generation, Cached: cached,
 			TimeMS: float64(time.Since(start).Microseconds()) / 1000}
 		for _, it := range items {
 			out.Items = append(out.Items, TopKItemJSON{
-				Graph: it.Graph, Name: s.db.Graphs[it.Graph].G.Name(), SSP: it.SSP,
+				Graph: it.Graph, Name: v.Graphs[it.Graph].G.Name(), SSP: it.SSP,
 			})
 		}
 		return out
 	}
-	s.mu.RLock()
-	s.queries.Add(1)
 	if !req.NoCache {
-		if v, ok := s.cache.Get(key); ok {
-			out := build(v.([]core.TopKItem), true)
-			s.mu.RUnlock()
-			writeJSON(w, out)
+		if cached, ok := s.cacheGet(v.Generation, key); ok {
+			writeJSON(w, build(cached.([]core.TopKItem), true))
 			return
 		}
 	}
 	release := s.acquire()
-	items, err := s.db.QueryTopKCtx(ctx, q, req.K, opt)
+	items, err := v.QueryTopKCtx(ctx, q, req.K, opt)
 	release()
 	if err != nil {
-		s.mu.RUnlock()
 		evalError(w, "topk failed", err)
 		return
 	}
 	if !req.NoCache {
 		s.cache.Put(key, items)
 	}
-	out := build(items, false)
-	s.mu.RUnlock()
-	writeJSON(w, out)
+	writeJSON(w, build(items, false))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -568,20 +670,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 
-	// Batch member i is definitionally Query with seed BatchSeed(seed, i),
-	// so each member has its own cache slot — a subsequent /query with that
-	// derived seed hits the same entry. The batch is served from cache only
-	// when every member hits; one miss re-runs the whole batch (QueryBatch
-	// derives seeds by position, so partial evaluation would change seeds).
+	// One pinned view serves the whole batch: every member runs against
+	// the same generation, whose number also keys each member's cache
+	// slot. Batch member i is definitionally Query with seed
+	// BatchSeed(seed, i), so a subsequent /query with that derived seed
+	// (and the same generation) hits the same entry. The batch is served
+	// from cache only when every member hits; one miss re-runs the whole
+	// batch (QueryBatch derives seeds by position, so partial evaluation
+	// would change seeds).
+	v := s.db.View()
+	s.queries.Add(int64(len(qs)))
 	keys := make([]string, len(qs))
 	for i, q := range qs {
 		mo := opt
 		mo.Seed = core.BatchSeed(opt.Seed, i)
-		keys[i] = cacheKey("query", graph.CanonicalCode(q), mo, 0)
+		keys[i] = cacheKey("query", v.Generation, graph.CanonicalCode(q), mo, 0)
 	}
 
-	s.mu.RLock()
-	s.queries.Add(int64(len(qs)))
 	if !req.NoCache {
 		// Probe with Peek first: a probe that ends in a miss must not
 		// inflate the hit counter or LRU-promote entries the batch then
@@ -596,29 +701,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if allHit {
 			cached := make([]*core.Result, len(qs))
 			for i, key := range keys {
-				v, ok := s.cache.Get(key)
+				cv, ok := s.cacheGet(v.Generation, key)
 				if !ok { // evicted between Peek and Get: fall through to a full run
 					allHit = false
 					break
 				}
-				cached[i] = v.(*core.Result)
+				cached[i] = cv.(*core.Result)
 			}
 			if allHit {
 				out := BatchResponse{TimeMS: float64(time.Since(start).Microseconds()) / 1000}
 				for _, res := range cached {
-					out.Results = append(out.Results, s.queryResponse(res, true, 0))
+					out.Results = append(out.Results, queryResponse(v, res, true, 0))
 				}
-				s.mu.RUnlock()
 				writeJSON(w, out)
 				return
 			}
 		}
 	}
 	release := s.acquire()
-	results, err := s.db.QueryBatchCtx(ctx, qs, opt)
+	results, err := v.QueryBatchCtx(ctx, qs, opt)
 	release()
 	if err != nil {
-		s.mu.RUnlock()
 		evalError(w, "batch failed", err)
 		return
 	}
@@ -627,15 +730,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !req.NoCache {
 			s.cache.Put(keys[i], res)
 		}
-		out.Results = append(out.Results, s.queryResponse(res, false, 0))
+		out.Results = append(out.Results, queryResponse(v, res, false, 0))
 	}
-	s.mu.RUnlock()
 	writeJSON(w, out)
 }
 
-func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+// mutationResponse assembles the reply from core's mutation record —
+// every field of which was captured inside the database's writer lock,
+// so concurrent mutations cannot skew the reported generation, shape, or
+// compaction marker — and fires the mutation log hook.
+func (s *Server) mutationResponse(op string, m core.Mutation) MutationResponse {
+	resp := MutationResponse{
+		Op:         op,
+		Index:      m.Index,
+		Generation: m.NewGeneration,
+		Graphs:     m.LiveGraphs,
+		Tombstoned: m.Tombstoned,
+		Compacted:  m.Compacted,
+	}
+	if s.opt.MutationLog != nil {
+		s.opt.MutationLog(MutationEvent{
+			Op: op, Index: m.Index,
+			OldGeneration: m.OldGeneration, NewGeneration: m.NewGeneration,
+			LiveGraphs: m.LiveGraphs, Tombstoned: m.Tombstoned,
+			Compacted: m.Compacted,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	var req AddGraphRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeJSONBody(w, r, &req) {
 		return
 	}
 	pg, err := parsePGraphPayload(req.Graph, req.GraphText)
@@ -643,52 +769,103 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	gi, err := s.db.AddGraph(pg)
+	m, err := s.db.AddGraphInfo(pg)
 	if err != nil {
-		// core.AddGraph is atomic — a failure leaves the database (and
-		// therefore every cached result) exactly as it was.
-		s.mu.Unlock()
+		// core.AddGraph is atomic — a failure publishes nothing, so every
+		// cached result stays valid for its generation.
 		httpError(w, http.StatusUnprocessableEntity, "adding graph: %v", err)
 		return
 	}
-	// Every cached result describes the pre-insertion database.
-	s.cache.Purge()
-	resp := AddGraphResponse{Index: gi, Graphs: s.db.Len()}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+	writeJSON(w, s.mutationResponse("add", m))
+}
+
+// graphID parses the {id} path segment of /graphs/{id}.
+func graphID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		httpError(w, http.StatusBadRequest, "bad graph id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+// mutationError maps a failed remove/replace to a status: unknown or
+// already-removed slots are 404, everything else (engine construction,
+// PMI column computation) an evaluation failure, 422.
+func mutationError(w http.ResponseWriter, what string, err error) {
+	status := http.StatusUnprocessableEntity
+	if errors.Is(err, core.ErrNoSuchGraph) {
+		status = http.StatusNotFound
+	}
+	httpError(w, status, "%s: %v", what, err)
+}
+
+func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
+	id, ok := graphID(w, r)
+	if !ok {
+		return
+	}
+	m, err := s.db.RemoveGraphInfo(id)
+	if err != nil {
+		mutationError(w, "removing graph", err)
+		return
+	}
+	writeJSON(w, s.mutationResponse("remove", m))
+}
+
+func (s *Server) handleReplaceGraph(w http.ResponseWriter, r *http.Request) {
+	id, ok := graphID(w, r)
+	if !ok {
+		return
+	}
+	var req AddGraphRequest
+	if !decodeJSONBody(w, r, &req) {
+		return
+	}
+	pg, err := parsePGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := s.db.ReplaceGraphInfo(id, pg)
+	if err != nil {
+		mutationError(w, "replacing graph", err)
+		return
+	}
+	writeJSON(w, s.mutationResponse("replace", m))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
+	v := s.db.View()
 	hits, misses := s.cache.Counters()
 	resp := StatsResponse{
-		Graphs:       s.db.Len(),
-		IndexBytes:   s.db.Build.IndexSizeBytes,
-		UptimeMS:     float64(time.Since(s.start).Microseconds()) / 1000,
-		Queries:      s.queries.Load(),
-		Inflight:     s.inflight.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: s.cache.Len(),
-		CacheCap:     s.opt.CacheSize,
-		Workers:      s.opt.Workers,
+		Graphs:           v.Len(),
+		LiveGraphs:       v.NumLive(),
+		TombstonedGraphs: v.Tombstones(),
+		Generation:       v.Generation,
+		IndexBytes:       v.Build.IndexSizeBytes,
+		UptimeMS:         float64(time.Since(s.start).Microseconds()) / 1000,
+		Queries:          s.queries.Load(),
+		Inflight:         s.inflight.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheEntries:     s.cache.Len(),
+		CacheCap:         s.opt.CacheSize,
+		CacheGenerations: s.genStats.snapshot(),
+		Workers:          s.opt.Workers,
 
 		DefaultTimeoutMS: float64(s.opt.Timeout.Microseconds()) / 1000,
 	}
-	if s.db.PMI != nil {
-		resp.PMIFeatures = s.db.PMI.NumFeatures()
+	if v.PMI != nil {
+		resp.PMIFeatures = v.PMI.NumFeatures()
 	}
-	if s.db.Struct != nil {
-		resp.StructShards, resp.StructPostings = s.db.Struct.PostingsStats()
+	if v.Struct != nil {
+		resp.StructShards, resp.StructPostings = v.Struct.PostingsStats()
 	}
-	s.mu.RUnlock()
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	n := s.db.Len()
-	s.mu.RUnlock()
-	writeJSON(w, map[string]any{"status": "ok", "graphs": n})
+	v := s.db.View()
+	writeJSON(w, map[string]any{"status": "ok", "graphs": v.NumLive(), "generation": v.Generation})
 }

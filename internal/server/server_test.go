@@ -306,7 +306,7 @@ func TestAddGraphEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	pg := extra.Graphs[0]
-	if _, err := env.fresh.AddGraph(pg); err != nil {
+	if _, _, err := env.fresh.AddGraph(pg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -314,17 +314,22 @@ func TestAddGraphEndpoint(t *testing.T) {
 	if err := dataset.EncodePGraph(&pgText, pg, 0); err != nil {
 		t.Fatal(err)
 	}
-	var ar AddGraphResponse
+	var ar MutationResponse
 	hr := env.post(t, "/graphs", AddGraphRequest{GraphText: pgText.String()}, &ar)
 	if hr.StatusCode != http.StatusOK {
 		t.Fatalf("/graphs status %d", hr.StatusCode)
 	}
-	if ar.Index != env.fresh.Len()-1 || ar.Graphs != env.fresh.Len() {
+	if ar.Op != "add" || ar.Index != env.fresh.Len()-1 || ar.Graphs != env.fresh.Len() {
 		t.Fatalf("add response %+v, want index %d", ar, env.fresh.Len()-1)
 	}
+	if ar.Generation != env.srv.db.Generation() {
+		t.Fatalf("add response generation %d, want %d", ar.Generation, env.srv.db.Generation())
+	}
 
-	// Cache was purged: the warmed query misses now, and its fresh result
-	// matches the library on the grown database.
+	// The warmed entry is keyed by the pre-insertion generation, so the
+	// repeat misses (no purge happened — the old entry is simply
+	// unaddressable now) and its fresh result matches the library on the
+	// grown database.
 	var rerun QueryResponse
 	env.post(t, "/query", req, &rerun)
 	if rerun.Cached {
@@ -351,7 +356,7 @@ func TestAddGraphEndpoint(t *testing.T) {
 		}
 		gj.JPTs = append(gj.JPTs, jj)
 	}
-	var ar2 AddGraphResponse
+	var ar2 MutationResponse
 	env.post(t, "/graphs", AddGraphRequest{Graph: gj}, &ar2)
 	if ar2.Graphs != ar.Graphs+1 {
 		t.Fatalf("second add: graphs = %d, want %d", ar2.Graphs, ar.Graphs+1)
@@ -415,14 +420,26 @@ func TestBadThresholdsAre400(t *testing.T) {
 	}
 	for _, c := range bad {
 		reqs := map[string]any{
-			"/query": QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta},
-			"/topk":  QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta, K: 2},
-			"/batch": BatchRequest{QueryTexts: env.qtexts[:1], Epsilon: c.epsilon, Delta: c.delta},
+			"/query":        QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta},
+			"/query/stream": QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta},
+			"/topk":         QueryRequest{GraphText: env.qtexts[0], Epsilon: c.epsilon, Delta: c.delta, K: 2},
+			"/batch":        BatchRequest{QueryTexts: env.qtexts[:1], Epsilon: c.epsilon, Delta: c.delta},
 		}
 		for path, req := range reqs {
-			hr := env.post(t, path, req, nil)
+			// Decode the body as one JSON object: the rejection must be a
+			// structured HTTP 400 *before* any evaluation — on the stream
+			// endpoint too, where a late rejection would instead surface
+			// as an in-band NDJSON error line after a 200 status.
+			var body map[string]any
+			hr := env.post(t, path, req, &body)
 			if hr.StatusCode != http.StatusBadRequest {
 				t.Errorf("%s %s: status %d, want 400", path, c.name, hr.StatusCode)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Errorf("%s %s: 400 body %v lacks error field", path, c.name, body)
+			}
+			if _, streamed := body["done"]; streamed {
+				t.Errorf("%s %s: rejection arrived as a stream line, not an up-front 400", path, c.name)
 			}
 		}
 	}
@@ -526,30 +543,31 @@ func TestCacheKeyDistinguishesOptions(t *testing.T) {
 		}
 		keys[name] = key
 	}
-	add("base", cacheKey("query", "CODE", base, 0))
+	add("base", cacheKey("query", 1, "CODE", base, 0))
 	o := base
 	o.Epsilon = 0.25
-	add("epsilon", cacheKey("query", "CODE", o, 0))
+	add("epsilon", cacheKey("query", 1, "CODE", o, 0))
 	o = base
 	o.Delta = 2
-	add("delta", cacheKey("query", "CODE", o, 0))
+	add("delta", cacheKey("query", 1, "CODE", o, 0))
 	o = base
 	o.Verifier = core.VerifierExact
-	add("verifier", cacheKey("query", "CODE", o, 0))
+	add("verifier", cacheKey("query", 1, "CODE", o, 0))
 	o = base
 	o.OptBounds = false
-	add("bounds", cacheKey("query", "CODE", o, 0))
+	add("bounds", cacheKey("query", 1, "CODE", o, 0))
 	o = base
 	o.Seed = 2
-	add("seed", cacheKey("query", "CODE", o, 0))
-	add("code", cacheKey("query", "OTHER", base, 0))
-	add("kind", cacheKey("topk", "CODE", base, 0))
-	add("k", cacheKey("topk", "CODE", base, 3))
+	add("seed", cacheKey("query", 1, "CODE", o, 0))
+	add("code", cacheKey("query", 1, "OTHER", base, 0))
+	add("kind", cacheKey("topk", 1, "CODE", base, 0))
+	add("k", cacheKey("topk", 1, "CODE", base, 3))
+	add("generation", cacheKey("query", 2, "CODE", base, 0))
 
 	// Workers must NOT change the key.
 	o = base
 	o.Concurrency = 8
-	if cacheKey("query", "CODE", o, 0) != keys["base"] {
+	if cacheKey("query", 1, "CODE", o, 0) != keys["base"] {
 		t.Fatal("workers changed the cache key")
 	}
 }

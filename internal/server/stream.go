@@ -60,8 +60,8 @@ type streamItem struct {
 
 // streamQueue is the unbounded hand-off between the evaluation goroutine
 // and the response writer: pushes never block (the evaluator must never
-// wait on a slow client — that is what keeps the database read lock's
-// hold time bounded by evaluation alone), memory grows with the actual
+// wait on a slow client — that is what keeps the inflight slot's hold
+// time bounded by evaluation alone), memory grows with the actual
 // match count rather than a db.Len()-sized preallocation, and pop blocks
 // on a 1-buffered wake-up channel until an item or close arrives.
 type streamQueue struct {
@@ -133,14 +133,15 @@ func (sq *streamQueue) pop() (it streamItem, ok bool) {
 //     cancelled halfway, and a partial answer set must never be mistaken
 //     for a complete cached result; rather than cache only the happy path
 //     the endpoint stays cache-free and leaves caching to /query.
-//   - Evaluation and delivery are decoupled. The database read lock (and
-//     the inflight slot) is held by an evaluation goroutine only while
-//     the engine runs — the same discipline as /query — and matches flow
-//     to the response writer through an unbounded queue whose pushes
-//     never block, so the evaluator can never wait on a slow client. A
-//     stalled consumer therefore costs a connection (reclaimed by the
-//     per-write deadline), never the lock: /graphs ingestion and every
-//     other endpoint stay live.
+//   - Evaluation and delivery are decoupled. The inflight slot is held by
+//     an evaluation goroutine only while the engine runs — the same
+//     discipline as /query — and matches flow to the response writer
+//     through an unbounded queue whose pushes never block, so the
+//     evaluator can never wait on a slow client. A stalled consumer
+//     therefore costs a connection (reclaimed by the per-write deadline),
+//     never shared state: the query path pins a generation view and holds
+//     no lock at all, so /graphs mutations and every other endpoint stay
+//     live no matter what a stream's client does.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !decodeBody(w, r, &req) {
@@ -168,27 +169,26 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 
-	// Evaluation goroutine: takes the read lock and an inflight slot,
-	// runs the stream, resolves names (which need the lock — /graphs may
-	// grow Graphs later), and releases both the moment evaluation ends.
-	// The queue absorbs matches without ever blocking the evaluator, so
-	// the lock hold is bounded by the evaluation itself (which ctx
-	// bounds), never by the client.
-	s.mu.RLock()
+	// Evaluation goroutine: pins the current generation view, takes an
+	// inflight slot, runs the stream, resolves names against that same
+	// view (a concurrent mutation cannot disturb it), and releases the
+	// slot the moment evaluation ends. The queue absorbs matches without
+	// ever blocking the evaluator, so the slot hold is bounded by the
+	// evaluation itself (which ctx bounds), never by the client.
+	v := s.db.View()
 	s.queries.Add(1)
 	release := s.acquire()
 	queue := newStreamQueue()
 	go func() {
 		defer queue.close()
-		defer s.mu.RUnlock()
 		defer release()
-		for m, err := range s.db.QueryStream(ctx, q, opt) {
+		for m, err := range v.QueryStream(ctx, q, opt) {
 			if err != nil {
 				queue.push(streamItem{err: err})
 				return
 			}
 			queue.push(streamItem{m: StreamMatchJSON{
-				Graph: m.Graph, Name: s.db.Graphs[m.Graph].G.Name(), SSP: m.SSP,
+				Graph: m.Graph, Name: v.Graphs[m.Graph].G.Name(), SSP: m.SSP,
 			}})
 		}
 	}()

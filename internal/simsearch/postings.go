@@ -2,6 +2,7 @@ package simsearch
 
 import (
 	"context"
+	"slices"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/pool"
@@ -28,8 +29,10 @@ import (
 // accumulators, candidates emitted in ascending id order per shard, shard
 // outputs concatenated in range order — so the scan fans out over the
 // deterministic worker pool and returns the identical candidate list at
-// every worker count. AddGraph appends to the last shard (graph ids only
-// grow, so level lists stay sorted) and opens a new shard when it is full.
+// every worker count. WithGraph appends to a copy of the last shard
+// (graph ids only grow, so level lists stay sorted) and opens a new shard
+// when it is full; tombstoned graphs keep their posting entries and are
+// filtered at emission.
 
 // DefaultShardSize is the postings shard width used by BuildIndex and by
 // snapshot loads of pre-postings (v1) sections.
@@ -51,6 +54,9 @@ func newShard(lo, nf int) *shard {
 
 // add appends graph gi (which must be lo+n, ids only grow) with the given
 // per-feature counts, returning the number of posting entries created.
+// It mutates the shard in place and is only called on shards no published
+// Index references yet (fresh builds, rebuilds); the copy-on-write path
+// goes through cloneCOW + addCOW.
 func (s *shard) add(gi int, row []int) int {
 	entries := 0
 	for fi, c := range row {
@@ -69,9 +75,53 @@ func (s *shard) add(gi int, row []int) int {
 	return entries
 }
 
+// cloneCOW returns a copy of the shard safe to extend while readers scan
+// the original: the struct and the outer per-feature slice are copied,
+// level lists stay shared until addCOW replaces the ones it touches.
+func (s *shard) cloneCOW() *shard {
+	return &shard{lo: s.lo, n: s.n, post: slices.Clone(s.post)}
+}
+
+// addCOW is add for a cloneCOW'd shard: every slice it writes through is
+// copied first, so the shard this one was cloned from is never mutated.
+// Leaf level lists are extended with plain append — writing at most one
+// element beyond the original length, which readers of the original
+// (whose headers carry the old length) never see; the linear mutation
+// chain guarantees no slot is appended twice.
+func (s *shard) addCOW(gi int, row []int) int {
+	entries := 0
+	for fi, c := range row {
+		if c <= 0 {
+			continue
+		}
+		levels := s.post[fi]
+		nl := make([][]int32, max(len(levels), c))
+		copy(nl, levels)
+		for k := 0; k < c; k++ {
+			nl[k] = append(nl[k], int32(gi))
+		}
+		s.post[fi] = nl
+		entries += c
+	}
+	s.n++
+	return entries
+}
+
+// rebuildShard builds a fresh shard over graphs [lo, lo+n) from their
+// count rows, returning it and its posting-entry count.
+func rebuildShard(lo, n int, counts [][]int, nf int) (*shard, int) {
+	s := newShard(lo, nf)
+	entries := 0
+	for gi := lo; gi < lo+n; gi++ {
+		entries += s.add(gi, counts[gi])
+	}
+	return s, entries
+}
+
 // scan accumulates per-graph hits over the query profile cq and returns
-// the owned graphs with hits >= need, ascending. need must be >= 1.
-func (s *shard) scan(cq []int, need int) []int {
+// the owned graphs with hits >= need and no tombstone, ascending. need
+// must be >= 1; dead may be nil (no tombstones).
+func (s *shard) scan(cq []int, need int, dead []bool) []int {
 	hits := make([]int32, s.n)
 	for fi, c := range cq {
 		if c == 0 {
@@ -89,7 +139,7 @@ func (s *shard) scan(cq []int, need int) []int {
 	}
 	var out []int
 	for off, h := range hits {
-		if int(h) >= need {
+		if int(h) >= need && (dead == nil || !dead[s.lo+off]) {
 			out = append(out, s.lo+off)
 		}
 	}
@@ -140,17 +190,19 @@ func (ix *Index) CandidatesCtx(ctx context.Context, q *graph.Graph, delta, worke
 	need := total - budget
 	if need <= 0 {
 		// The budget covers every query feature occurrence, so even a graph
-		// containing none of them passes — all graphs are candidates (this
-		// includes queries embedding no feature at all: total = 0).
-		out := make([]int, len(ix.dbc))
-		for gi := range out {
-			out[gi] = gi
+		// containing none of them passes — all live graphs are candidates
+		// (this includes queries embedding no feature at all: total = 0).
+		out := make([]int, 0, len(ix.dbc)-ix.tombs)
+		for gi := range ix.dbc {
+			if ix.Live(gi) {
+				out = append(out, gi)
+			}
 		}
 		return out, nil
 	}
 	outs := make([][]int, len(ix.shards))
 	err := pool.ForEachIndexCtx(ctx, len(ix.shards), pool.Normalize(workers, len(ix.shards)), func(si int) {
-		outs[si] = ix.shards[si].scan(cq, need)
+		outs[si] = ix.shards[si].scan(cq, need, ix.dead)
 	})
 	if err != nil {
 		return nil, err

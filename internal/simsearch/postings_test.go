@@ -205,9 +205,10 @@ func TestSCqSerialShardedIdentity(t *testing.T) {
 	}
 }
 
-// TestAddGraphExtendsPostings: incrementally grown postings answer exactly
-// like an index built from scratch over the final database, including when
-// growth crosses shard boundaries.
+// TestAddGraphExtendsPostings: incrementally grown postings (the
+// copy-on-write WithGraph chain) answer exactly like an index built from
+// scratch over the final database, including when growth crosses shard
+// boundaries — and no link of the chain mutates its predecessor.
 func TestAddGraphExtendsPostings(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	all := randomDB(rng, 11)
@@ -215,7 +216,7 @@ func TestAddGraphExtendsPostings(t *testing.T) {
 	for _, shardSize := range []int{1, 3, 256} {
 		inc := BuildIndexSharded(all[:4], features, shardSize)
 		for _, g := range all[4:] {
-			inc.AddGraph(g)
+			inc = inc.WithGraph(g)
 		}
 		full := BuildIndexSharded(all, features, shardSize)
 		if is, ie := inc.PostingsStats(); true {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,10 +45,28 @@ const CountCap = 64
 // Index holds per-graph feature occurrence counts, both as the dense
 // matrix (snapshot format, test oracle) and as the sharded inverted
 // postings the query path scans (see postings.go).
+//
+// An Index is immutable once published: mutation goes through the
+// copy-on-write constructors WithGraph, WithTombstone, WithReplaced, and
+// Compacted, each returning a new Index that shares every untouched slice
+// with its predecessor. Queries running against an older Index therefore
+// never observe a mutation — the generation-view machinery in
+// internal/core relies on exactly that.
+//
+// Removal is tombstone-based: WithTombstone only marks the slot dead, the
+// postings keep the graph's entries, and every scan path (postings, dense
+// oracle, the all-pass shortcut) filters dead slots at emission.
+// Compacted drops the tombstones and renumbers the survivors.
 type Index struct {
 	Features []*graph.Graph
 	counts   [][]int // [graph][feature]
 	dbc      []*graph.Graph
+
+	// dead marks tombstoned slots (nil = all live); tombs counts them.
+	// Dead slots keep their counts row and posting entries but are
+	// filtered out of every candidate list.
+	dead  []bool
+	tombs int
 
 	shardSize   int
 	shards      []*shard
@@ -128,22 +147,142 @@ func BuildIndexSharded(dbc []*graph.Graph, features []*graph.Graph, shardSize in
 	return ix
 }
 
-// AddGraph appends one graph's feature counts to the index. The counting
-// feature set is not regrown; new label combinations absent from the
-// original database simply contribute zero counts (the filter stays sound:
-// a zero count can only make the graph look like a weaker container, never
-// a stronger one... a zero count for a feature the query lacks changes
-// nothing, and for a feature the query has it only adds misses for this
-// graph — which is exact, since the count is exact).
-func (ix *Index) AddGraph(g *graph.Graph) {
+// countRow computes one graph's capped feature-count row.
+func (ix *Index) countRow(g *graph.Graph) []int {
 	row := make([]int, len(ix.Features))
 	for fi, f := range ix.Features {
 		row[fi] = iso.Count(f, g, nil, CountCap)
 	}
+	return row
+}
+
+// clone returns a shallow struct copy — the starting point of every
+// copy-on-write constructor. Slices are shared until a constructor
+// replaces the ones it touches.
+func (ix *Index) clone() *Index {
+	cp := *ix
+	return &cp
+}
+
+// WithGraph returns a new Index extended by one graph's feature counts,
+// leaving the receiver untouched — queries scanning the old Index
+// concurrently see exactly the pre-insertion database. The counting
+// feature set is not regrown; new label combinations absent from the
+// original database simply contribute zero counts (the filter stays sound:
+// a zero count can only make the graph look like a weaker container, never
+// a stronger one — a zero count for a feature the query lacks changes
+// nothing, and for a feature the query has it only adds misses for this
+// graph, which is exact, since the count is exact).
+//
+// Sharing discipline: appends reuse the receiver's backing arrays when
+// capacity allows, writing only beyond the receiver's length — invisible
+// to it. That is safe because mutations form a linear chain (the writer
+// lock in core serializes them and each starts from the newest Index), so
+// a given backing slot is written at most once after becoming reachable.
+func (ix *Index) WithGraph(g *graph.Graph) *Index {
+	row := ix.countRow(g)
+	n := ix.clone()
 	gi := len(ix.counts)
-	ix.counts = append(ix.counts, row)
-	ix.dbc = append(ix.dbc, g)
-	ix.postingsAdd(gi, row)
+	n.counts = append(ix.counts, row)
+	n.dbc = append(ix.dbc, g)
+	if ix.dead != nil {
+		n.dead = append(ix.dead, false)
+	}
+	n.shards = slices.Clone(ix.shards)
+	last := len(n.shards) - 1
+	if last < 0 || n.shards[last].n >= n.shardSize {
+		s := newShard(gi, len(n.Features))
+		n.postEntries += s.add(gi, row)
+		n.shards = append(n.shards, s)
+	} else {
+		s := n.shards[last].cloneCOW()
+		n.postEntries += s.addCOW(gi, row)
+		n.shards[last] = s
+	}
+	return n
+}
+
+// WithTombstone returns a new Index with slot gi marked dead. The postings
+// and count matrix keep the graph's entries — only candidate emission
+// filters it — so the operation is O(len(dead)) regardless of graph size.
+func (ix *Index) WithTombstone(gi int) *Index {
+	return ix.WithTombstones([]int{gi})
+}
+
+// WithReplaced returns a new Index in which slot gi holds g's feature
+// counts instead. Only the postings shard owning gi is rebuilt (from the
+// count rows of its range); every other shard is shared.
+func (ix *Index) WithReplaced(gi int, g *graph.Graph) *Index {
+	row := ix.countRow(g)
+	n := ix.clone()
+	n.counts = slices.Clone(ix.counts)
+	n.counts[gi] = row
+	n.dbc = slices.Clone(ix.dbc)
+	n.dbc[gi] = g
+	n.shards = slices.Clone(ix.shards)
+	for si, s := range n.shards {
+		if gi >= s.lo && gi < s.lo+s.n {
+			n.postEntries -= countEntries(ix.counts[s.lo : s.lo+s.n])
+			fresh, added := rebuildShard(s.lo, s.n, n.counts, len(n.Features))
+			n.postEntries += added
+			n.shards[si] = fresh
+			break
+		}
+	}
+	return n
+}
+
+// Compacted returns a new Index without the tombstoned slots: survivors
+// keep their relative order and are renumbered contiguously, and the
+// postings are rebuilt from the surviving count rows (no re-counting).
+func (ix *Index) Compacted() *Index {
+	n := &Index{Features: ix.Features, shardSize: ix.shardSize}
+	for gi, row := range ix.counts {
+		if ix.dead != nil && ix.dead[gi] {
+			continue
+		}
+		n.counts = append(n.counts, row)
+		n.dbc = append(n.dbc, ix.dbc[gi])
+	}
+	n.rebuildPostings()
+	return n
+}
+
+// WithTombstones returns a new Index with every listed slot marked dead —
+// the snapshot loader's bulk form of WithTombstone.
+func (ix *Index) WithTombstones(ids []int) *Index {
+	if len(ids) == 0 {
+		return ix
+	}
+	n := ix.clone()
+	n.dead = make([]bool, len(ix.counts))
+	copy(n.dead, ix.dead)
+	for _, gi := range ids {
+		if !n.dead[gi] {
+			n.dead[gi] = true
+			n.tombs++
+		}
+	}
+	return n
+}
+
+// Tombstones returns the number of dead slots.
+func (ix *Index) Tombstones() int { return ix.tombs }
+
+// Live reports whether slot gi holds a live (non-tombstoned) graph.
+func (ix *Index) Live(gi int) bool { return ix.dead == nil || !ix.dead[gi] }
+
+// countEntries sums the posting entries of a range of count rows.
+func countEntries(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		for _, c := range row {
+			if c > 0 {
+				total += c
+			}
+		}
+	}
+	return total
 }
 
 // Save writes the counting features and the per-graph count matrix:
@@ -307,6 +446,9 @@ func (ix *Index) CandidatesDense(q *graph.Graph, delta int) []int {
 	cq, budget := ix.queryProfile(q, delta)
 	var out []int
 	for gi := range ix.dbc {
+		if !ix.Live(gi) {
+			continue
+		}
 		misses := 0
 		for fi := range ix.Features {
 			if d := cq[fi] - ix.counts[gi][fi]; d > 0 {

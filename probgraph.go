@@ -63,8 +63,23 @@
 // Results are deterministic at every worker count — all per-candidate
 // randomness is seeded from QueryOptions.Seed and the candidate's graph
 // index, never from scheduling order — so a parallel run returns exactly
-// what the serial run would. A Database is immutable during queries and
-// safe for concurrent use from multiple goroutines (AddGraph excepted).
+// what the serial run would.
+//
+// # Generations and mutation
+//
+// A Database is a first-class mutable store built from immutable,
+// generation-numbered views. Every query pins the current View at entry
+// and runs against it untouched, while AddGraph, RemoveGraph, and
+// ReplaceGraph build the next view copy-on-write under a writer lock —
+// mutations never block queries, queries never block mutations, and a
+// query started before a mutation answers bitwise-identically to one run
+// before it. Each mutator returns the new generation number.
+//
+// Removal is tombstone-based: the slot's postings and PMI column stay in
+// place, masked, and surviving graph indices are stable. Compact rewrites
+// the indexes without the tombstones (renumbering survivors);
+// SetCompactThreshold arms automatic compaction. Pin a View explicitly
+// (Database.View) to run a multi-query analysis against one frozen state.
 //
 // See the examples directory for complete programs: examples/quickstart
 // walks the paper's own Figure 1 instance, examples/ppi searches a
@@ -118,6 +133,10 @@ type (
 type (
 	// Database is an indexed probabilistic graph database.
 	Database = core.Database
+	// DatabaseView is one immutable, generation-numbered state of a
+	// Database: Database.View pins the current one, every query method
+	// exists on it, and no mutation ever changes a pinned view.
+	DatabaseView = core.View
 	// BuildOptions configures indexing (feature mining α/β/γ/maxL, PMI
 	// construction, OPT-SIPBound vs SIPBound).
 	BuildOptions = core.BuildOptions
@@ -179,7 +198,11 @@ func DefaultBuildOptions() BuildOptions { return core.DefaultBuildOptions() }
 
 // Database.AddGraph (on the aliased core type) inserts one graph
 // incrementally — engine, structural counts, and PMI column — without
-// re-mining the feature vocabulary.
+// re-mining the feature vocabulary; Database.RemoveGraph tombstones a
+// slot and Database.ReplaceGraph swaps a slot's graph in place (the
+// re-scored-JPT case). Each returns the new generation; Database.Compact
+// drops accumulated tombstones. All mutations are copy-on-write against
+// immutable views, so none of them ever blocks a running query.
 //
 // Database.QueryBatch (also on the aliased core type) answers many queries
 // over one bounded worker pool of QueryOptions.Concurrency goroutines,
