@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter|churn]
+//	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter|churn|perf]
 //	        [-workers N] [-seed N] [-json out.json] [-churn rates]
+//	        [-baseline BENCH_baseline.json] [-baseline-tolerance 0.15]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
 // shape of each series (see EXPERIMENTS.md).
@@ -21,11 +22,24 @@
 // default) covers the paper figures only and they must be requested
 // explicitly.
 //
+// -fig perf runs the fixed steady-state workloads (query/topk/batch and
+// binary snapshot load) with deterministic row and sample structure —
+// only the latency cells vary between machines — which is what the
+// checked-in BENCH_baseline.json pins.
+//
 // -json out.json additionally writes every produced table as
 // machine-readable series — figure name, headers, raw rows, per-column
 // numeric series against the first column as x, and the figure's wall
 // time — so the performance trajectory can be tracked across commits
-// (BENCH_*.json artifacts).
+// (BENCH_*.json artifacts). Figures, series, and rows appear in a fixed
+// order, and nothing in the export besides wall_ms depends on the clock.
+//
+// -baseline old.json compares this run's p50/p99 columns against a
+// previous -json export (figures matched by name, rows by first cell;
+// wall_ms is ignored). Any latency more than -baseline-tolerance above
+// the baseline exits 4 — the CI perf gate; refresh the baseline with
+// `pgbench -scale tiny -fig perf -seed 1 -json BENCH_baseline.json` when
+// a slowdown is intended.
 package main
 
 import (
@@ -61,12 +75,15 @@ type figureJSON struct {
 
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
-	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter/churn (extra, never implied by all)")
+	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter/churn/perf (extra, never implied by all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
 	churnRates := flag.String("churn", "0,20,100",
 		"comma-separated background mutation rates (mutations/s) for -fig churn")
+	baseline := flag.String("baseline", "", "compare this run's p50/p99 columns against a previous -json export; regressions beyond the tolerance exit 4")
+	baselineTol := flag.Float64("baseline-tolerance", 0.15,
+		"allowed fractional p50/p99 regression vs -baseline (0.15 = 15%)")
 	flag.Parse()
 
 	start := time.Now()
@@ -152,6 +169,9 @@ func main() {
 		}
 		run("churn", one(func() (*stats.Table, error) { return env.Churn(rates) }))
 	}
+	if strings.EqualFold(*fig, "perf") {
+		run("perf", one(env.Perf))
+	}
 
 	if *jsonPath != "" {
 		out := struct {
@@ -175,7 +195,103 @@ func main() {
 		}
 		fmt.Printf("wrote %d figure series to %s\n", len(figures), *jsonPath)
 	}
+	if *baseline != "" {
+		if *baselineTol < 0 {
+			fmt.Fprintf(os.Stderr, "pgbench: -baseline-tolerance must be >= 0, got %v\n", *baselineTol)
+			os.Exit(2)
+		}
+		regressions, err := compareBaseline(*baseline, figures, *baselineTol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "pgbench: %d latency regression(s) beyond %.0f%% vs %s:\n",
+				len(regressions), *baselineTol*100, *baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(4)
+		}
+		fmt.Printf("baseline check passed: within %.0f%% of %s\n", *baselineTol*100, *baseline)
+	}
 	fmt.Printf("pgbench done in %v\n", time.Since(start))
+}
+
+// compareBaseline checks this run's latency columns against a previous
+// -json export. Figures are matched by name, rows by their first cell
+// (the workload / x value), and only columns whose header mentions p50 or
+// p99 are compared — wall_ms and every other machine-varying field in the
+// export are ignored, so the payload carries no timestamps that could
+// make the comparison flap. A current value regresses when it exceeds
+// baseline·(1+tol); faster-than-baseline is never an error. Rows or
+// figures present on only one side are skipped: the gate guards latency,
+// not schema drift (tests pin the schema).
+func compareBaseline(path string, current []figureJSON, tol float64) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pgbench: reading baseline: %w", err)
+	}
+	var base struct {
+		Figures []figureJSON `json:"figures"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("pgbench: parsing baseline %s: %w", path, err)
+	}
+	baseRows := map[string]map[string][]string{} // figure -> row key -> cells
+	baseHeaders := map[string][]string{}
+	for _, f := range base.Figures {
+		rows := map[string][]string{}
+		for _, row := range f.Rows {
+			if len(row) > 0 {
+				rows[row[0]] = row
+			}
+		}
+		baseRows[f.Figure] = rows
+		baseHeaders[f.Figure] = f.Headers
+	}
+
+	var regressions []string
+	compared := 0
+	for _, f := range current {
+		rows, ok := baseRows[f.Figure]
+		if !ok {
+			continue
+		}
+		for col, h := range f.Headers {
+			if !strings.Contains(h, "p50") && !strings.Contains(h, "p99") {
+				continue
+			}
+			// Column positions must agree for the header match to mean
+			// the same measurement on both sides.
+			if bh := baseHeaders[f.Figure]; col >= len(bh) || bh[col] != h {
+				continue
+			}
+			for _, row := range f.Rows {
+				if len(row) <= col {
+					continue
+				}
+				bRow, ok := rows[row[0]]
+				if !ok || len(bRow) <= col {
+					continue
+				}
+				cur, errC := parseCell(row[col])
+				old, errO := parseCell(bRow[col])
+				if errC != nil || errO != nil || old <= 0 {
+					continue
+				}
+				compared++
+				if cur > old*(1+tol) {
+					regressions = append(regressions,
+						fmt.Sprintf("%s[%s] %s: %.4g ms vs baseline %.4g ms (+%.0f%%)",
+							f.Figure, row[0], h, cur, old, (cur/old-1)*100))
+				}
+			}
+		}
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("pgbench: baseline %s shares no comparable p50/p99 cells with this run (figure/flag mismatch?)", path)
+	}
+	return regressions, nil
 }
 
 // tableJSON converts a rendered table to its export form: raw rows always,

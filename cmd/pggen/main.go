@@ -5,7 +5,7 @@
 //
 //	pggen -o db.pgraph [-n 120] [-organisms 6] [-minv 10] [-maxv 16]
 //	      [-meanprob 0.383] [-mutations 0.25] [-independent] [-seed 1]
-//	      [-savesnap db.idx]
+//	      [-savesnap db.idx] [-format text|binary]
 //	pggen -query [-from db.pgraph] [-qsize 6] [-qfrom 0] -o q.pgraph
 //
 // The generator mirrors the paper's experimental construction (§6):
@@ -15,7 +15,10 @@
 // -savesnap additionally builds the full index (structural filter, feature
 // mining, PMI) and writes it as one snapshot, ready for pgserve -snapshot
 // or pgsearch -loadsnap — the offline step of the paper's offline/online
-// split, done once at generation time.
+// split, done once at generation time. -format picks the snapshot
+// encoding: text (the default, v3) or binary (v4, which pgserve opens via
+// mmap for parse-free startup). The write is atomic (temp file + rename),
+// so a crash mid-save never truncates an existing snapshot.
 //
 // -query switches to query-workload mode: instead of a database, write one
 // connected query graph extracted from a database graph's certain
@@ -48,6 +51,7 @@ func main() {
 	independent := flag.Bool("independent", false, "independent-edge model (IND) instead of correlated (COR)")
 	seed := flag.Int64("seed", 1, "random seed")
 	saveSnap := flag.String("savesnap", "", "also build the full index and write a snapshot to this file")
+	format := flag.String("format", "text", "snapshot format for -savesnap: text (v3) or binary (v4, mmap-able)")
 	queryMode := flag.Bool("query", false, "write a query graph instead of a database")
 	from := flag.String("from", "", "query mode: extract from this database file (default: generate)")
 	qsize := flag.Int("qsize", 6, "query mode: query size (edges)")
@@ -107,18 +111,16 @@ func main() {
 	}
 
 	if *saveSnap != "" {
+		sf, err := probgraph.ParseSnapshotFormat(*format)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pggen: %v\n", err)
+			os.Exit(2)
+		}
 		idxDB, err := probgraph.NewDatabase(db.Graphs, probgraph.DefaultBuildOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
-		f, err := os.Create(*saveSnap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := idxDB.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := idxDB.SaveFile(*saveSnap, sf); err != nil {
 			log.Fatal(err)
 		}
 		feats := 0

@@ -7,7 +7,7 @@
 //	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
 //	         [-qfrom 0] [-queries 5] [-qfile q.pgraph] [-verifier smp|exact|none]
 //	         [-plain] [-workers 1] [-batch] [-seed 1] [-v] [-json]
-//	         [-timeout 0] [-stream] [-savesnap db.idx]
+//	         [-timeout 0] [-stream] [-savesnap db.idx] [-format text|binary]
 //	pgsearch -loadsnap db.idx ...   (start from a snapshot, no re-indexing)
 //
 // Queries are extracted from the certain graph of the graph at index
@@ -15,9 +15,11 @@
 // construction — or read verbatim from -qfile (one or more graph blocks,
 // as written by pggen -query).
 //
-// -savesnap persists the indexed database as one snapshot file; -loadsnap
-// restores it without re-mining features or recomputing PMI bounds, so
-// repeated sessions (and cmd/pgserve) skip the offline index build.
+// -savesnap persists the indexed database as one snapshot file (-format
+// text writes the v3 line format, -format binary the mmap-able v4 layout);
+// -loadsnap restores either without re-mining features or recomputing PMI
+// bounds, so repeated sessions (and cmd/pgserve) skip the offline index
+// build. Binary snapshots are opened via mmap: no full parse at startup.
 // -json prints machine-readable results to stdout instead of tables.
 //
 // -workers N evaluates candidate graphs on a pool of N goroutines (N < 0
@@ -57,6 +59,7 @@ func main() {
 	dbPath := flag.String("db", "", "database file from pggen")
 	loadSnap := flag.String("loadsnap", "", "snapshot file to load instead of -db (skips indexing)")
 	saveSnap := flag.String("savesnap", "", "write the indexed database snapshot to this file")
+	format := flag.String("format", "text", "snapshot format for -savesnap: text (v3) or binary (v4, mmap-able)")
 	epsilon := flag.Float64("epsilon", 0.5, "probability threshold ε")
 	delta := flag.Int("delta", 2, "subgraph distance threshold δ")
 	qsize := flag.Int("qsize", 6, "query size (edges)")
@@ -114,12 +117,8 @@ func main() {
 	start := time.Now()
 	var db *probgraph.Database
 	if *loadSnap != "" {
-		f, err := os.Open(*loadSnap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		db, err = probgraph.LoadDatabase(f)
-		f.Close()
+		var err error
+		db, err = probgraph.OpenSnapshot(*loadSnap)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -161,17 +160,15 @@ func main() {
 			time.Since(start), db.PMI().NumFeatures(), float64(db.Build().IndexSizeBytes)/1024)
 	}
 	if *saveSnap != "" {
-		f, err := os.Create(*saveSnap)
+		sf, err := probgraph.ParseSnapshotFormat(*format)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgsearch: %v\n", err)
+			os.Exit(2)
+		}
+		if err := db.SaveFile(*saveSnap, sf); err != nil {
 			log.Fatal(err)
 		}
-		if err := db.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		say("saved snapshot to %s\n", *saveSnap)
+		say("saved %s snapshot to %s\n", *format, *saveSnap)
 	}
 	if *saveIndex != "" {
 		if db.PMI() == nil {

@@ -10,9 +10,13 @@
 //	pgserve -db db.pgraph ...   (build the index at startup instead)
 //
 // With -snapshot (written by pgsearch -savesnap, pggen -savesnap, or
-// probgraph.Database.Save) startup is parse + junction-tree construction
-// only — no feature mining, no PMI bound computation. With -db the full
-// index is built first (the offline step the snapshot amortizes away).
+// probgraph.Database.Save/SaveFile) there is no feature mining and no PMI
+// bound computation at startup. Binary (v4) snapshots are memory-mapped:
+// startup does no full-corpus parse, pages fault in on demand, and
+// multiple pgserve processes serving the same file share the page cache.
+// Text snapshots are parsed once. Inference engines build lazily on first
+// use either way. With -db the full index is built first (the offline
+// step the snapshot amortizes away).
 //
 // Endpoints (JSON bodies; see internal/server for the wire types):
 //
@@ -97,16 +101,12 @@ func main() {
 	var db *core.Database
 	switch {
 	case *snapshot != "":
-		f, err := os.Open(*snapshot)
+		var err error
+		db, err = probgraph.OpenSnapshot(*snapshot)
 		if err != nil {
 			log.Fatal(err)
 		}
-		db, err = probgraph.LoadDatabase(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded snapshot %s: %d graphs, %d PMI features in %v (no mining)",
+		log.Printf("opened snapshot %s: %d graphs, %d PMI features in %v (no mining)",
 			*snapshot, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
 	default:
 		f, err := os.Open(*dbPath)

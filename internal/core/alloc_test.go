@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probgraph/internal/dataset"
+	"probgraph/internal/graph"
+	"probgraph/internal/relax"
+)
+
+// allocFixture builds a corpus plus one query and returns the structural
+// candidates that the PMI bounds alone decide (judgePrune) — the
+// steady-state hot path whose allocation budget the tests below pin.
+// Epsilon is set high so Pruning 1 fires for most candidates; with
+// OptBounds the surviving accept path runs qp.Solve, which is outside the
+// zero-alloc contract (it only runs for candidates headed to verification
+// anyway), so the fixture restricts itself to the pruned set.
+func allocFixture(t *testing.T, optBounds bool) (v *View, q *graph.Graph, u []*graph.Graph, pr *pruner, pruned []int, opt QueryOptions) {
+	t.Helper()
+	db, raw := snapDB(t, 12)
+	v = db.View()
+	// Sweep both regular 4-edge queries and 2-edge ones: with 1-edge
+	// relaxations the rq ⊆iso f relation is nonempty (features are edges
+	// and wedges), so the plain lower bound can actually decide.
+	cands := snapQueries(t, raw, 8)
+	qrng := rand.New(rand.NewSource(21))
+	for i := 0; i < 8; i++ {
+		cands = append(cands, dataset.ExtractQuery(raw.Graphs[i%len(raw.Graphs)].G, 2, qrng))
+	}
+	for _, cand := range cands {
+		for _, eps := range []float64{0.99, 0.7, 0.4, 0.1} {
+			q = cand
+			opt = QueryOptions{Epsilon: eps, Delta: 1, OptBounds: optBounds, Seed: 7}.withDefaults()
+			u = relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+			var err error
+			pr, err = v.newPruner(context.Background(), u, opt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scq, _, err := v.Struct.SCqCtx(context.Background(), q, opt.Delta, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned = pruned[:0]
+			for _, gi := range scq {
+				sc := getScratch(candSeed(opt.Seed^pruneSalt, gi))
+				verdict := pr.judge(gi, sc)
+				putScratch(sc)
+				// With plain bounds every bounds-decided candidate is on the
+				// zero-alloc path; with OPT bounds only Pruning 1 rejects are.
+				if verdict == judgePrune || (!optBounds && verdict == judgeAccept) {
+					pruned = append(pruned, gi)
+				}
+			}
+			if len(pruned) > 0 {
+				return
+			}
+		}
+	}
+	t.Fatal("no query in the fixture sweep produced bounds-decided candidates")
+	return
+}
+
+// TestEvalCandidateSteadyStateAllocs verifies the hot-path allocation
+// budget at one worker: once the scratch pool is warm, a candidate
+// decided by the bounds allocates nothing — every buffer (PMI row, choice
+// lists, cover scratch, rng) comes from the pooled scratch.
+// AllocsPerRun pins GOMAXPROCS to 1, so this is exactly the workers=1
+// configuration.
+func TestEvalCandidateSteadyStateAllocs(t *testing.T) {
+	for _, optBounds := range []bool{false, true} {
+		t.Run(fmt.Sprintf("optBounds=%v", optBounds), func(t *testing.T) {
+			v, q, u, pr, pruned, opt := allocFixture(t, optBounds)
+			for _, gi := range pruned {
+				_ = v.evalCandidate(q, u, pr, gi, opt)
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				for _, gi := range pruned {
+					_ = v.evalCandidate(q, u, pr, gi, opt)
+				}
+			})
+			// avg counts a whole sweep over len(pruned) candidates, so a
+			// real per-candidate leak shows up as avg >= len(pruned); a
+			// one-off pool eviction stays far below 1.
+			if avg >= 1 {
+				t.Errorf("evalCandidate allocates: %.2f allocs per %d-candidate sweep, want ~0", avg, len(pruned))
+			}
+		})
+	}
+}
+
+// TestEvalCandidateParallelAllocs is the same budget at GOMAXPROCS
+// workers: the scratch pool hands each worker its own warm buffers, so
+// the per-candidate allocation rate stays near zero under parallel
+// evaluation too (the small constant measured here is the worker-pool
+// spawn itself, amortized over thousands of candidates).
+func TestEvalCandidateParallelAllocs(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, optBounds := range []bool{false, true} {
+		t.Run(fmt.Sprintf("optBounds=%v", optBounds), func(t *testing.T) {
+			v, q, u, pr, pruned, opt := allocFixture(t, optBounds)
+			reps := make([]int, 0, 4096+len(pruned))
+			for len(reps) < 4096 {
+				reps = append(reps, pruned...)
+			}
+			run := func() error {
+				return forEachIndexCtx(context.Background(), len(reps), workers, func(i int) {
+					_ = v.evalCandidate(q, u, pr, reps[i], opt)
+				})
+			}
+			if err := run(); err != nil { // warm one scratch per worker
+				t.Fatal(err)
+			}
+			best := math.Inf(1)
+			for trial := 0; trial < 3; trial++ {
+				var m0, m1 runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				if err := run(); err != nil {
+					t.Fatal(err)
+				}
+				runtime.ReadMemStats(&m1)
+				if per := float64(m1.Mallocs-m0.Mallocs) / float64(len(reps)); per < best {
+					best = per
+				}
+			}
+			if best >= 0.25 {
+				t.Errorf("parallel evalCandidate allocates %.3f allocs/candidate at %d workers, want ~0", best, workers)
+			}
+		})
+	}
+}
+
+// TestInsertTopKNoAlloc verifies the third leg of the budget: with the
+// +1 overflow slot pre-sized, folding any stream of verification results
+// into the ranking never reallocates, and the ranking matches the sort
+// order (SSP descending, graph ascending).
+func TestInsertTopKNoAlloc(t *testing.T) {
+	const k = 10
+	rng := rand.New(rand.NewSource(3))
+	ssps := make([]float64, 200)
+	for i := range ssps {
+		ssps[i] = rng.Float64()
+	}
+	top := make([]TopKItem, 0, k+1)
+	avg := testing.AllocsPerRun(100, func() {
+		top = top[:0]
+		for gi, s := range ssps {
+			top = insertTopK(top, TopKItem{Graph: gi, SSP: s}, k)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("insertTopK allocates: %.2f allocs per %d-item fold, want 0", avg, len(ssps))
+	}
+	if len(top) != k {
+		t.Fatalf("kept %d items, want %d", len(top), k)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].SSP < top[i].SSP ||
+			(top[i-1].SSP == top[i].SSP && top[i-1].Graph > top[i].Graph) {
+			t.Fatalf("ranking out of order at %d: %+v before %+v", i, top[i-1], top[i])
+		}
+	}
+}

@@ -82,6 +82,11 @@ type View struct {
 	Engines []*prob.Engine
 	Certain []*graph.Graph
 
+	// engLazy backs nil Engines slots from snapshot loads, resolved on
+	// first use by View.Engine. The slice is shared by COW successor
+	// views; see engine.go for the sharing argument.
+	engLazy []atomic.Pointer[prob.Engine]
+
 	Features []*feature.Feature
 	PMI      *pmi.Index
 	Struct   *simsearch.Index
@@ -469,6 +474,19 @@ func compactView(v *View) *View {
 			}
 		}
 		nv.Features[i] = &cp
+	}
+	// Lazily loaded engine slots stay lazy across compaction: survivors
+	// keep their (renumbered) cache slot, with already-resolved engines
+	// carried over so no work is repeated.
+	if v.engLazy != nil {
+		nv.engLazy = make([]atomic.Pointer[prob.Engine], len(nv.Graphs))
+		for gi, ni := range remap {
+			if ni >= 0 && nv.Engines[ni] == nil && gi < len(v.engLazy) {
+				if e := v.engLazy[gi].Load(); e != nil {
+					nv.engLazy[ni].Store(e)
+				}
+			}
+		}
 	}
 	if v.Struct != nil {
 		nv.Struct = v.Struct.Compacted()

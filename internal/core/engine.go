@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"probgraph/internal/prob"
+)
+
+// Snapshot loads defer inference-engine construction: junction trees are
+// the one genuinely expensive per-graph piece of a load, and a serving
+// process typically queries a small, hot subset of slots long before it
+// touches every graph. A deferred slot has Engines[gi] == nil and resolves
+// through Engine on first use.
+//
+// The lazy cache is a slice of atomic pointers shared by every view
+// descended from the load (the slice header is copied by the
+// copy-on-write mutations, the slots are shared). That sharing is sound
+// because a slot's engine is a pure function of the graph occupying it at
+// load time: mutations that change a slot's graph (ReplaceGraph) install
+// a non-nil Engines entry in their successor views, which shadows the
+// lazy slot — old views still resolve the old graph's engine through the
+// cache, new views never consult it. Concurrent resolvers may race to
+// build the same engine; construction is deterministic, the CAS keeps one
+// winner, and the loser's work is discarded — results are identical
+// either way.
+
+// Engine returns slot gi's inference engine, building it on first use for
+// slots loaded lazily from a snapshot. Safe for concurrent use.
+func (v *View) Engine(gi int) (*prob.Engine, error) {
+	if e := v.Engines[gi]; e != nil {
+		return e, nil
+	}
+	if v.engLazy == nil || gi >= len(v.engLazy) {
+		return nil, fmt.Errorf("core: graph %d has no engine", gi)
+	}
+	if e := v.engLazy[gi].Load(); e != nil {
+		return e, nil
+	}
+	e, err := prob.NewEngine(v.Graphs[gi])
+	if err != nil {
+		return nil, fmt.Errorf("core: graph %d engine: %w", gi, err)
+	}
+	v.engLazy[gi].CompareAndSwap(nil, e)
+	return v.engLazy[gi].Load(), nil
+}
+
+// newLazyEngines prepares the engine slots of a freshly loaded view: all
+// n slots nil, backed by a lazy cache.
+func (v *View) newLazyEngines(n int) {
+	v.Engines = make([]*prob.Engine, n)
+	v.engLazy = make([]atomic.Pointer[prob.Engine], n)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzLoadDatabase drives the snapshot loaders — text sniffing, the v1/v3
+// scanners, and the v4 binary cursor — with arbitrary bytes. The contract
+// under fuzzing is purely defensive: a corrupt snapshot must produce an
+// error, never a panic, an index out of range, or an attempt to allocate
+// slabs the input cannot back. The corpus seeds every checked-in fixture
+// plus truncations and bit flips of the binary one, which walk the cursor
+// through its bounds checks.
+func FuzzLoadDatabase(f *testing.F) {
+	for _, name := range []string{"v1_tiny.pgsnap", "v2_tiny.pgsnap", "v3_tiny.pgsnap",
+		"v3_tiny_tombs.pgsnap", "v4_tiny.pgsnapb", "v4_tiny_tombs.pgsnapb"} {
+		if b, err := os.ReadFile(fixturePath(name)); err == nil {
+			f.Add(b)
+		}
+	}
+	if v4, err := os.ReadFile(fixturePath("v4_tiny.pgsnapb")); err == nil {
+		for _, cut := range []int{1, 7, 8, 9, 24, len(v4) / 2, len(v4) - 1} {
+			if cut > 0 && cut < len(v4) {
+				f.Add(v4[:cut])
+			}
+		}
+		for _, pos := range []int{0, 8, 12, 16, 24, 40, 64, len(v4) / 3, len(v4) - 2} {
+			if pos >= 0 && pos < len(v4) {
+				c := bytes.Clone(v4)
+				c[pos] ^= 0x40
+				f.Add(c)
+			}
+		}
+	}
+	f.Add([]byte("pgsnap v3\noptions {}\n"))
+	f.Add([]byte("pgsnap v1\noptions {}\ngraphs 2\n"))
+	f.Add([]byte("PGSNAPB4"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := LoadDatabase(bytes.NewReader(data))
+		if err == nil && db == nil {
+			t.Fatal("LoadDatabase returned nil database without an error")
+		}
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads f fully into memory — the portable fallback where mmap is
+// unavailable. Same contract as the unix version minus the page sharing.
+func mapFile(f *os.File) ([]byte, error) {
+	return io.ReadAll(f)
+}

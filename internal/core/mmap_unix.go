@@ -1,0 +1,27 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The mapping is intentionally never unmapped:
+// OpenSnapshot hands out a database whose slabs alias the pages for the
+// process lifetime, which is exactly the serving pattern — the kernel
+// shares the page cache across every process mapping the same snapshot.
+func mapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

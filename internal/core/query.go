@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -179,8 +178,9 @@ func (v *View) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi in
 	var o candOutcome
 	if pr != nil {
 		t := time.Now()
-		rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
-		o.verdict = pr.judge(gi, rng)
+		sc := getScratch(candSeed(opt.Seed^pruneSalt, gi))
+		o.verdict = pr.judge(gi, sc)
+		putScratch(sc)
 		o.probT = time.Since(t)
 	}
 	if o.verdict != judgeUndecided || opt.Verifier == VerifierNone {
@@ -337,13 +337,17 @@ func (v *View) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOpti
 	if len(clauses) == 0 {
 		return 0, nil
 	}
+	eng, err := v.Engine(gi)
+	if err != nil {
+		return 0, err
+	}
 	switch opt.Verifier {
 	case VerifierExact:
-		return verify.Exact(v.Engines[gi], clauses, opt.Verify.MaxClauses)
+		return verify.Exact(eng, clauses, opt.Verify.MaxClauses)
 	default:
 		vo := opt.Verify
 		vo.Seed = candSeed(opt.Seed^verifySalt, gi)
-		return verify.SMP(v.Engines[gi], clauses, vo)
+		return verify.SMP(eng, clauses, vo)
 	}
 }
 
@@ -367,9 +371,12 @@ func (db *Database) ExactSSPByEnumeration(q *graph.Graph, gi, delta int) (float6
 // ExactSSPByEnumeration on a pinned View; see the Database method.
 func (v *View) ExactSSPByEnumeration(q *graph.Graph, gi, delta int) (float64, error) {
 	u := relax.Relaxed(q, delta, 0)
-	eng := v.Engines[gi]
+	eng, err := v.Engine(gi)
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	err := prob.EnumerateWorlds(eng, func(w graph.EdgeSet, p float64) bool {
+	err = prob.EnumerateWorlds(eng, func(w graph.EdgeSet, p float64) bool {
 		for _, rq := range u {
 			if iso.Exists(rq, v.Certain[gi], &w) {
 				total += p
@@ -430,14 +437,14 @@ func (v *View) newPruner(ctx context.Context, u []*graph.Graph, opt QueryOptions
 }
 
 // judge applies Pruning 1 (upper < ε ⇒ prune) then Pruning 2 (lower ≥ ε ⇒
-// accept) to graph gi.
-func (p *pruner) judge(gi int, rng *rand.Rand) judgement {
-	entries := p.v.PMI.Lookup(gi)
-	usim := p.upperBound(entries, rng)
+// accept) to graph gi, working entirely out of the caller's scratch.
+func (p *pruner) judge(gi int, sc *scratch) judgement {
+	sc.entries = p.v.PMI.LookupInto(gi, sc.entries[:0])
+	usim := p.upperBound(sc.entries, sc)
 	if usim < p.opt.Epsilon {
 		return judgePrune
 	}
-	lsim := p.lowerBound(entries, rng)
+	lsim := p.lowerBound(sc.entries, sc)
 	if lsim >= p.opt.Epsilon {
 		return judgeAccept
 	}
@@ -452,10 +459,11 @@ func (p *pruner) judge(gi int, rng *rand.Rand) judgement {
 // OPT-SSPBound minimizes the covering weight with the greedy set cover
 // (Definition 10, Algorithm 1); plain SSPBound picks one qualifying feature
 // per rq at random (the paper's §6 baseline).
-func (p *pruner) upperBound(entries []pmi.Entry, rng *rand.Rand) float64 {
+func (p *pruner) upperBound(entries []pmi.Entry, sc *scratch) float64 {
 	if p.opt.OptBounds {
 		in := cover.Instance{NumElements: len(p.u)}
-		covered := make([]bool, len(p.u))
+		in.Sets, in.Weights = sc.sets[:0], sc.wu[:0]
+		covered := clearedBools(&sc.covered, len(p.u))
 		for j, e := range entries {
 			if !e.Contained || len(p.supOf[j]) == 0 {
 				continue
@@ -466,17 +474,24 @@ func (p *pruner) upperBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 				covered[i] = true
 			}
 		}
+		// Uncovered relaxed queries contribute singleton sets of weight 1;
+		// sc.singles is the identity list [0,1,...], so the singleton {i}
+		// is a subslice of it — no per-set allocation.
+		for i := len(sc.singles); i < len(p.u); i++ {
+			sc.singles = append(sc.singles, i)
+		}
 		for i, c := range covered {
 			if !c {
-				in.Sets = append(in.Sets, []int{i})
+				in.Sets = append(in.Sets, sc.singles[i:i+1:i+1])
 				in.Weights = append(in.Weights, 1)
 			}
 		}
-		return cover.Greedy(in).Weight
+		sc.sets, sc.wu = in.Sets, in.Weights
+		return cover.GreedyScratch(in, &sc.cov).Weight
 	}
 	total := 0.0
 	for i := range p.u {
-		var choices []float64
+		choices := sc.choicesF[:0]
 		for j, e := range entries {
 			if !e.Contained {
 				continue
@@ -488,11 +503,12 @@ func (p *pruner) upperBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 				}
 			}
 		}
+		sc.choicesF = choices
 		if len(choices) == 0 {
 			total += 1
 			continue
 		}
-		total += choices[rng.Intn(len(choices))]
+		total += choices[sc.rng.Intn(len(choices))]
 	}
 	return total
 }
@@ -512,11 +528,12 @@ func (p *pruner) upperBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 // which holds for arbitrarily correlated events (Pr(A∧B) ≤ min(Pr A, Pr B)),
 // unlike the paper's Σ L − (Σ U)² whose pairwise product step assumes
 // independence and can over-accept under strong positive correlation.
-func (p *pruner) lowerBound(entries []pmi.Entry, rng *rand.Rand) float64 {
-	var chosen []int
+func (p *pruner) lowerBound(entries []pmi.Entry, sc *scratch) float64 {
+	chosen := sc.chosen[:0]
 	if p.opt.OptBounds {
 		in := qp.Instance{NumElements: len(p.u)}
-		var featOf []int
+		in.Sets, in.WL, in.WU = sc.sets[:0], sc.wl[:0], sc.wu[:0]
+		featOf := sc.featOf[:0]
 		for j, e := range entries {
 			if !e.Contained || len(p.subOf[j]) == 0 {
 				continue
@@ -526,16 +543,19 @@ func (p *pruner) lowerBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 			in.WU = append(in.WU, e.Upper)
 			featOf = append(featOf, j)
 		}
+		sc.sets, sc.wl, sc.wu, sc.featOf = in.Sets, in.WL, in.WU, featOf
 		if len(in.Sets) == 0 {
 			return 0
 		}
-		for _, s := range qp.Solve(in, rng).Chosen {
+		for _, s := range qp.Solve(in, sc.rng).Chosen {
 			chosen = append(chosen, featOf[s])
 		}
 	} else {
-		seen := make(map[int]bool)
+		// Dedup by linear scan over the (small) chosen family instead of a
+		// per-candidate map; first-seen order is preserved, so the family —
+		// and the bound — is exactly what the map produced.
 		for i := range p.u {
-			var choices []int
+			choices := sc.choicesI[:0]
 			for j, e := range entries {
 				if !e.Contained {
 					continue
@@ -547,25 +567,33 @@ func (p *pruner) lowerBound(entries []pmi.Entry, rng *rand.Rand) float64 {
 					}
 				}
 			}
+			sc.choicesI = choices
 			if len(choices) > 0 {
-				j := choices[rng.Intn(len(choices))]
-				if !seen[j] {
-					seen[j] = true
+				j := choices[sc.rng.Intn(len(choices))]
+				dup := false
+				for _, c := range chosen {
+					if c == j {
+						dup = true
+						break
+					}
+				}
+				if !dup {
 					chosen = append(chosen, j)
 				}
 			}
 		}
 	}
-	return soundLsim(entries, chosen)
+	sc.chosen = chosen
+	return soundLsim(entries, chosen, sc)
 }
 
 // soundLsim evaluates the correlation-safe lower bound of a feature
 // collection, also trying all sub-collections greedily by dropping the
 // weakest member while it improves the bound (fewer features shrink the
 // pairwise penalty faster than they shrink Σ L).
-func soundLsim(entries []pmi.Entry, chosen []int) float64 {
+func soundLsim(entries []pmi.Entry, chosen []int, sc *scratch) float64 {
 	best := 0.0
-	cur := append([]int(nil), chosen...)
+	cur := append(sc.cur[:0], chosen...)
 	for len(cur) > 0 {
 		if v := bonferroniMin(entries, cur); v > best {
 			best = v
@@ -579,6 +607,7 @@ func soundLsim(entries []pmi.Entry, chosen []int) float64 {
 		}
 		cur = append(cur[:worstIdx], cur[worstIdx+1:]...)
 	}
+	sc.cur = cur
 	return best
 }
 

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"probgraph/internal/cover"
+	"probgraph/internal/pmi"
+)
+
+// scratch is the pooled per-candidate working state of the pruning hot
+// path. An evaluating goroutine takes one from the pool, reseeds the
+// embedded rng from the candidate's candSeed, runs the judge, and puts it
+// back. In steady state a candidate decided by the bounds allocates
+// nothing: every buffer sticks at its high-water capacity inside the
+// pool, and Seed on a rand.NewSource-backed Rand restores exactly the
+// stream a fresh rand.New(rand.NewSource(seed)) would produce — pooling
+// never changes a drawn value, so the determinism contract is untouched.
+type scratch struct {
+	rng *rand.Rand
+
+	entries  []pmi.Entry // LookupInto buffer (one PMI row)
+	choicesF []float64   // plain upper bound: per-rq qualifying uppers
+	choicesI []int       // plain lower bound: per-rq qualifying features
+	chosen   []int       // lower bound: selected feature family
+	cur      []int       // soundLsim working copy
+	sets     [][]int     // OPT bounds: Instance.Sets backing
+	wl, wu   []float64   // OPT bounds: Instance weight backings
+	featOf   []int       // OPT lower bound: set index → feature index
+	covered  []bool      // OPT upper bound: rq coverage flags
+	singles  []int       // OPT upper bound: singleton-set backing [0,1,...]
+	cov      cover.Scratch
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &scratch{rng: rand.New(rand.NewSource(0))} },
+}
+
+// getScratch takes a pooled scratch reseeded for one candidate.
+func getScratch(seed int64) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.rng.Seed(seed)
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// clearedBools resizes *buf to n all-false entries, reusing capacity.
+func clearedBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*buf = b
+	return b
+}

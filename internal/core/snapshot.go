@@ -12,9 +12,8 @@ import (
 	"probgraph/internal/feature"
 	"probgraph/internal/graph"
 	"probgraph/internal/pmi"
-	"probgraph/internal/pool"
-	"probgraph/internal/prob"
 	"probgraph/internal/simsearch"
+	"probgraph/internal/snapbin"
 )
 
 // The snapshot is the full indexed database in one versioned file, so a
@@ -48,9 +47,14 @@ import (
 // Every numeric payload round-trips bitwise (JPT probabilities via %g
 // shortest-representation, PMI bounds via %.17g), so a query against the
 // reloaded database returns exactly what the original would. Only the
-// per-graph inference engines are rebuilt at load time — junction-tree
-// construction is deterministic and cheap next to feature mining and PMI
-// bound computation.
+// per-graph inference engines are rebuilt after a load — lazily, on first
+// use per slot (see View.Engine); junction-tree construction is
+// deterministic, so deferral changes no answer.
+//
+// pgsnap v4 is the binary counterpart of this format — same sections,
+// mmap-friendly layout; see snapshot_binary.go. LoadDatabase sniffs the
+// format from the leading magic, Save keeps writing text, SaveBinary and
+// SaveFile write v4.
 
 // SnapshotVersion identifies the snapshot format written by Save. The v3
 // format added the generation section; v1 files still load.
@@ -138,14 +142,25 @@ func (v *View) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadDatabase reads a snapshot written by Save and returns a Database
-// equivalent to the one that wrote it: identical graphs, features,
-// structural counts, PMI bounds, generation, and tombstones, with freshly
-// built inference engines. No feature mining or bound computation runs —
-// load cost is parsing plus junction-tree construction. Pre-generation
-// snapshots (header "pgsnap v1") load at generation 1 with no tombstones.
+// LoadDatabase reads a snapshot written by Save or SaveBinary and returns
+// a Database equivalent to the one that wrote it: identical graphs,
+// features, structural counts, PMI bounds, generation, and tombstones.
+// The format is sniffed from the first bytes, so callers never need to
+// know which one they were handed. No feature mining or bound computation
+// runs, and inference engines are built lazily on first use (see
+// View.Engine). Pre-generation text snapshots (header "pgsnap v1") load
+// at generation 1 with no tombstones. To map a binary snapshot instead of
+// reading it into memory, use OpenSnapshot.
 func LoadDatabase(r io.Reader) (*Database, error) {
-	sc := bufio.NewScanner(r)
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(snapbin.Magic)); err == nil && snapbin.IsBinary(magic) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading binary snapshot: %w", err)
+		}
+		return loadBinarySnapshot(data)
+	}
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 
 	header, err := snapLine(sc)
@@ -288,15 +303,9 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		return nil, fmt.Errorf("core: snapshot: bad pmi header %q", line)
 	}
 	if hasPMI == 1 {
-		idx, err := pmi.LoadFromScanner(sc)
+		idx, err := pmi.LoadFromScannerCols(sc, n)
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot: %w", err)
-		}
-		for fi := range idx.Entries {
-			if len(idx.Entries[fi]) != n {
-				return nil, fmt.Errorf("core: snapshot: PMI row %d covers %d graphs, snapshot has %d",
-					fi, len(idx.Entries[fi]), n)
-			}
 		}
 		// pmi.Save does not persist options; restore them from the build
 		// options so incremental mutations behave exactly as before the
@@ -329,20 +338,10 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		}
 	}
 
-	// Rebuild the inference engines — deterministic junction-tree
-	// construction, parallel across graphs. Tombstoned slots get engines
-	// too: they are never queried, but keeping every slot uniform means a
-	// later Compact (or slot-level tooling) never meets a nil engine.
-	v.Engines = make([]*prob.Engine, n)
-	engErrs := make([]error, n)
-	pool.ForEachIndex(n, normalizeWorkers(-1, n), func(gi int) {
-		v.Engines[gi], engErrs[gi] = prob.NewEngine(v.Graphs[gi])
-	})
-	for gi, err := range engErrs {
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot graph %d engine: %w", gi, err)
-		}
-	}
+	// Inference engines are rebuilt lazily, on first use per slot —
+	// junction-tree construction is deterministic, so deferring it
+	// changes no answer, and startup stays flat in the corpus size.
+	v.newLazyEngines(n)
 	return newFromView(v), nil
 }
 

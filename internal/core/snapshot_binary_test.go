@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"probgraph/internal/dataset"
+)
+
+// roundTripBinary snapshots db as pgsnap v4 and loads it back through the
+// format-sniffing loader.
+func roundTripBinary(t *testing.T, db *Database) *Database {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.SaveBinary(&buf); err != nil {
+		t.Fatalf("SaveBinary: %v", err)
+	}
+	got, err := LoadDatabase(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadDatabase(binary): %v", err)
+	}
+	return got
+}
+
+// TestSnapshotBinaryDifferential: one corpus saved as v3 text and v4
+// binary, loaded side by side, must answer bitwise-identically across
+// every query mode — the two formats are one database.
+func TestSnapshotBinaryDifferential(t *testing.T) {
+	db, raw := snapDB(t, 10)
+	text := roundTrip(t, db)
+	bin := roundTripBinary(t, db)
+
+	if bin.Len() != text.Len() || bin.Generation() != text.Generation() {
+		t.Fatalf("shape diverged: binary %d/gen %d, text %d/gen %d",
+			bin.Len(), bin.Generation(), text.Len(), text.Generation())
+	}
+	for fi := range text.PMI().Entries {
+		if !reflect.DeepEqual(text.PMI().Entries[fi], bin.PMI().Entries[fi]) {
+			t.Fatalf("PMI row %d diverged between text and binary load", fi)
+		}
+	}
+
+	qs := snapQueries(t, raw, 3)
+	for i, q := range qs {
+		for _, opt := range []QueryOptions{
+			{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: int64(7 + i)},
+			{Epsilon: 0.6, Delta: 1, Seed: int64(100 + i)},
+		} {
+			want, err := text.Query(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := bin.Query(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Answers, have.Answers) || !reflect.DeepEqual(want.SSP, have.SSP) {
+				t.Fatalf("query %d: text and binary loads diverged", i)
+			}
+		}
+	}
+
+	wantTop, err := text.QueryTopK(qs[0], 3, QueryOptions{Delta: 1, OptBounds: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveTop, err := bin.QueryTopK(qs[0], 3, QueryOptions{Delta: 1, OptBounds: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantTop, haveTop) {
+		t.Fatalf("topk diverged: %v != %v", haveTop, wantTop)
+	}
+
+	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 21, Concurrency: 3}
+	wantBatch, err := text.QueryBatch(qs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveBatch, err := bin.QueryBatch(qs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBatch {
+		if !reflect.DeepEqual(wantBatch[i].Answers, haveBatch[i].Answers) ||
+			!reflect.DeepEqual(wantBatch[i].SSP, haveBatch[i].SSP) {
+			t.Fatalf("batch query %d diverged", i)
+		}
+	}
+
+	sopt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 33}
+	var wantStream, haveStream []Match
+	for m, err := range text.QueryStream(context.Background(), qs[0], sopt) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStream = append(wantStream, m)
+	}
+	for m, err := range bin.QueryStream(context.Background(), qs[0], sopt) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		haveStream = append(haveStream, m)
+	}
+	if !reflect.DeepEqual(wantStream, haveStream) {
+		t.Fatalf("stream diverged: %v != %v", haveStream, wantStream)
+	}
+}
+
+// TestSnapshotBinaryByteStable: save→load→save must be byte-identical —
+// the binary codec has no formatting ambiguity to hide behind.
+func TestSnapshotBinaryByteStable(t *testing.T) {
+	db, _ := snapDB(t, 8)
+
+	// Exercise the tombstone path too.
+	if _, err := db.RemoveGraph(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var first bytes.Buffer
+	if err := db.SaveBinary(&first); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadDatabase(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := reloaded.SaveBinary(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("binary snapshot not byte-stable: %d vs %d bytes", first.Len(), second.Len())
+	}
+}
+
+// TestSnapshotBinaryTombstones: generation and tombstones survive the
+// binary round trip and removed graphs stay invisible to queries.
+func TestSnapshotBinaryTombstones(t *testing.T) {
+	db, raw := snapDB(t, 8)
+	if _, err := db.RemoveGraph(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RemoveGraph(5); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripBinary(t, db)
+	if got.Generation() != db.Generation() || got.Tombstones() != 2 || got.NumLive() != 6 {
+		t.Fatalf("tombstone state diverged: gen %d/%d, tombs %d, live %d",
+			got.Generation(), db.Generation(), got.Tombstones(), got.NumLive())
+	}
+	q := snapQueries(t, raw, 1)[0]
+	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 17}
+	want, err := db.Query(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Query(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Answers, have.Answers) || !reflect.DeepEqual(want.SSP, have.SSP) {
+		t.Fatalf("tombstoned query diverged")
+	}
+}
+
+// TestOpenSnapshot: the mmap-backed open answers identically to the
+// in-memory load, for both formats.
+func TestOpenSnapshot(t *testing.T) {
+	db, raw := snapDB(t, 8)
+	dir := t.TempDir()
+	q := snapQueries(t, raw, 1)[0]
+	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 5}
+	want, err := db.Query(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []SnapshotFormat{SnapshotText, SnapshotBinary} {
+		path := filepath.Join(dir, "snap-"+string(format))
+		if err := db.SaveFile(path, format); err != nil {
+			t.Fatalf("SaveFile(%s): %v", format, err)
+		}
+		got, err := OpenSnapshot(path)
+		if err != nil {
+			t.Fatalf("OpenSnapshot(%s): %v", format, err)
+		}
+		have, err := got.Query(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Answers, have.Answers) || !reflect.DeepEqual(want.SSP, have.SSP) {
+			t.Fatalf("OpenSnapshot(%s) answers diverged", format)
+		}
+	}
+}
+
+// TestSnapshotBinaryNoPMI: a structure-only database round-trips in v4.
+func TestSnapshotBinaryNoPMI(t *testing.T) {
+	raw, err := dataset.GeneratePPI(dataset.PPIOptions{
+		NumGraphs: 6, MinVertices: 5, MaxVertices: 6, Organisms: 2,
+		Correlated: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultBuildOptions()
+	opt.SkipPMI = true
+	db, err := NewDatabase(raw.Graphs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripBinary(t, db)
+	if got.PMI() != nil {
+		t.Fatal("reloaded database unexpectedly has a PMI")
+	}
+	if got.Struct() == nil {
+		t.Fatal("reloaded database lost its structural filter")
+	}
+}
+
+// TestSaveFileAtomic: a save that dies partway must leave an existing
+// snapshot at the path untouched.
+func TestSaveFileAtomic(t *testing.T) {
+	db, _ := snapDB(t, 6)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := db.SaveFile(path, SnapshotBinary); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the write partway: writeFileAtomic's writer fails after a few
+	// bytes, simulating a crash mid-save.
+	err = writeFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return os.ErrClosed
+	})
+	if err == nil {
+		t.Fatal("want error from failed save")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, after) {
+		t.Fatal("failed save corrupted the existing snapshot")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover temp files: %v", entries)
+	}
+	if _, err := LoadDatabase(bytes.NewReader(after)); err != nil {
+		t.Fatalf("surviving snapshot no longer loads: %v", err)
+	}
+}

@@ -58,10 +58,11 @@ func TestBoundsSandwichExactSSP(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				entries := db.PMI().Lookup(gi)
-				rng := rand.New(rand.NewSource(candSeed(qo.Seed^pruneSalt, gi)))
-				upper := pr.upperBound(entries, rng)
-				lower := pr.lowerBound(entries, rng)
+				sc := getScratch(candSeed(qo.Seed^pruneSalt, gi))
+				sc.entries = db.PMI().LookupInto(gi, sc.entries[:0])
+				upper := pr.upperBound(sc.entries, sc)
+				lower := pr.lowerBound(sc.entries, sc)
+				putScratch(sc)
 				const slack = 1e-9
 				if upper < exact-slack {
 					t.Logf("seed %d opt=%v graph %d: Usim %v < exact SSP %v", seed, optBounds, gi, upper, exact)

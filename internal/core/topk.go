@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -100,8 +99,10 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 		}
 		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
 			gi := scq[i]
-			rng := rand.New(rand.NewSource(candSeed(opt.Seed^pruneSalt, gi)))
-			ub := pr.upperBound(v.PMI.Lookup(gi), rng)
+			sc := getScratch(candSeed(opt.Seed^pruneSalt, gi))
+			sc.entries = v.PMI.LookupInto(gi, sc.entries[:0])
+			ub := pr.upperBound(sc.entries, sc)
+			putScratch(sc)
 			if ub > 1 {
 				ub = 1
 			}
@@ -146,8 +147,14 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 		done      = make([]bool, n)
 		ssps      = make([]float64, n)
 		errs      = make([]error, n)
-		top       []TopKItem
 	)
+	// top is pre-sized to its maximum (k kept + 1 overflow slot before
+	// truncation), so the commit loop never reallocates it.
+	capTop := k
+	if capTop > n {
+		capTop = n
+	}
+	top := make([]TopKItem, 0, capTop+1)
 	cond := sync.NewCond(&mu)
 	// The workers block on cond (speculation window), not on a channel, so
 	// ctx cancellation must be translated into a broadcast: a watcher
@@ -193,16 +200,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 				break
 			}
 			if ssp := ssps[committed]; ssp > 0 {
-				top = append(top, TopKItem{Graph: c.gi, SSP: ssp})
-				sort.Slice(top, func(i, j int) bool {
-					if top[i].SSP != top[j].SSP {
-						return top[i].SSP > top[j].SSP
-					}
-					return top[i].Graph < top[j].Graph
-				})
-				if len(top) > k {
-					top = top[:k]
-				}
+				top = insertTopK(top, TopKItem{Graph: c.gi, SSP: ssp}, k)
 			}
 			committed++
 		}
@@ -257,6 +255,25 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 		return nil, ferr
 	}
 	return ranking, nil
+}
+
+// insertTopK folds item into the ranking by sorted insertion (SSP
+// descending, graph ascending), keeping at most k items. Keys are unique —
+// each graph commits once — so this yields exactly the order a full
+// re-sort would, and with cap(top) > len(top) it never allocates.
+func insertTopK(top []TopKItem, item TopKItem, k int) []TopKItem {
+	pos := len(top)
+	for pos > 0 && (top[pos-1].SSP < item.SSP ||
+		(top[pos-1].SSP == item.SSP && top[pos-1].Graph > item.Graph)) {
+		pos--
+	}
+	top = append(top, TopKItem{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = item
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
 }
 
 // QueryBatch answers many queries over one bounded worker pool of

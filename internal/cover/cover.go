@@ -21,14 +21,29 @@ type Result struct {
 	Full   bool    // false when the union of all sets cannot cover U
 }
 
+// Scratch holds Greedy's working buffers so hot callers can reuse them
+// across calls and run allocation-free. The zero value is ready to use.
+type Scratch struct {
+	covered []bool
+	used    []bool
+	chosen  []int
+}
+
 // Greedy runs the classic weighted greedy: repeatedly pick the set
 // minimizing weight / newly-covered-count (paper Algorithm 1's γ(s)).
 // If the instance is infeasible it covers what it can and reports
 // Full=false.
 func Greedy(in Instance) Result {
-	covered := make([]bool, in.NumElements)
+	return GreedyScratch(in, &Scratch{})
+}
+
+// GreedyScratch is Greedy with caller-owned buffers: it allocates nothing
+// once the scratch has grown to the instance size. Result.Chosen aliases
+// the scratch and is valid only until its next use.
+func GreedyScratch(in Instance, sc *Scratch) Result {
+	covered := clearedBools(&sc.covered, in.NumElements)
+	used := clearedBools(&sc.used, len(in.Sets))
 	remaining := in.NumElements
-	used := make([]bool, len(in.Sets))
 	var res Result
 	for remaining > 0 {
 		best, bestGamma, bestGain := -1, math.Inf(1), 0
@@ -51,7 +66,7 @@ func Greedy(in Instance) Result {
 			}
 		}
 		if best < 0 {
-			res.Chosen = chosenList(used)
+			res.Chosen = chosenList(used, sc)
 			res.Weight = totalWeight(in, used)
 			res.Full = false
 			return res
@@ -64,18 +79,37 @@ func Greedy(in Instance) Result {
 			}
 		}
 	}
-	res.Chosen = chosenList(used)
+	res.Chosen = chosenList(used, sc)
 	res.Weight = totalWeight(in, used)
 	res.Full = true
 	return res
 }
 
-func chosenList(used []bool) []int {
-	var out []int
+// clearedBools resizes *buf to n all-false entries, reusing capacity.
+func clearedBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*buf = b
+	return b
+}
+
+func chosenList(used []bool, sc *Scratch) []int {
+	out := sc.chosen[:0]
 	for j, u := range used {
 		if u {
 			out = append(out, j)
 		}
+	}
+	sc.chosen = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+
+	"probgraph/internal/snapbin"
+)
+
+// Binary graph records are the pgsnap v4 counterpart of the text codec in
+// codec.go: name, vertex labels, and edges as length-prefixed structured
+// fields instead of escaped tokens. Decoding goes through the Builder, so
+// the same structural validation (endpoint range, self loops, duplicate
+// edges) applies to both codecs.
+
+// EncodeBinary appends g's binary record to a snapshot section.
+func EncodeBinary(s *snapbin.Section, g *Graph) {
+	s.Str(g.name)
+	s.U32(uint32(len(g.vlabel)))
+	for _, l := range g.vlabel {
+		s.Str(string(l))
+	}
+	s.U32(uint32(len(g.edges)))
+	for _, e := range g.edges {
+		s.U32(uint32(e.U))
+		s.U32(uint32(e.V))
+		s.Str(string(e.Label))
+	}
+}
+
+// DecodeBinary reads one binary graph record. Corrupt input returns an
+// error; allocation is bounded by the bytes actually present (each
+// declared vertex or edge must be backed by data, so a lying count runs
+// out of section before it runs out of memory).
+func DecodeBinary(c *snapbin.Cursor) (*Graph, error) {
+	name := c.Str()
+	nv := c.Int()
+	b := NewBuilder(name)
+	for i := 0; i < nv; i++ {
+		l := c.Str()
+		if c.Err() != nil {
+			return nil, c.Err()
+		}
+		b.AddVertex(Label(l))
+	}
+	ne := c.Int()
+	for i := 0; i < ne; i++ {
+		u := c.Int()
+		v := c.Int()
+		l := c.Str()
+		if c.Err() != nil {
+			return nil, c.Err()
+		}
+		if _, err := b.AddEdge(VertexID(u), VertexID(v), Label(l)); err != nil {
+			return nil, fmt.Errorf("graph: binary record: %w", err)
+		}
+	}
+	if c.Err() != nil {
+		return nil, c.Err()
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenRoundTrip pins the token escaping contract for arbitrary
+// strings, including invalid UTF-8: the encoding is always a single
+// non-empty token free of codec metacharacters, and decoding inverts it
+// exactly. This is what lets graph names and labels carry any bytes
+// through the line-oriented snapshot format.
+func FuzzTokenRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"", "-", "a", "hello world", "%", "%%", "%zz", "50%", "50%AB",
+		"a\nb", "tab\there", "ret\rurn", "#comment", "héllo", "%25",
+		string([]byte{0xff, 0x00, 0x25}),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		enc := EncodeToken(s)
+		if enc == "" {
+			t.Fatalf("EncodeToken(%q) produced an empty token", s)
+		}
+		// The escape introducer '%' itself is fine in output; what must
+		// never appear is anything the line scanners split or strip on.
+		if strings.ContainsAny(enc, " \t\r\n#") {
+			t.Fatalf("EncodeToken(%q) = %q contains codec metacharacters", s, enc)
+		}
+		if got := DecodeToken(enc); got != s {
+			t.Fatalf("DecodeToken(EncodeToken(%q)) = %q", s, got)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package pmi
+
+import (
+	"fmt"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/snapbin"
+)
+
+// The binary section is the pgsnap v4 counterpart of Save/LoadFromScanner:
+// feature graphs, a contained-bitmap, and the bounds of the contained
+// entries as two float64 slabs (row-major, bit-order), bitwise-exact by
+// construction. Masked (tombstoned) columns serialize as uncontained —
+// exactly like the text codec — and the snapshot loader re-applies the
+// mask from the tombstone list, which keeps save→load→save byte-stable.
+//
+// Unlike the structural slabs, the PMI is materialized into row-major
+// Entries at decode time (one memcpy-scale pass): the Entry layout is
+// pointer-free but interleaved, and keeping the public Entries [][]Entry
+// shape is worth more than zero-copy here.
+
+// EncodeBinary appends the index to a snapshot section:
+//
+//	u32 nf, u32 ng
+//	nf binary graph records (the features)
+//	contained bitmap, u32 length-prefixed, bit fi*ng+gi LSB-first
+//	f64 slab: lower bounds of the contained entries, row-major
+//	f64 slab: upper bounds, same order
+func (idx *Index) EncodeBinary(s *snapbin.Section) {
+	ng := idx.numGraphs()
+	s.U32(uint32(len(idx.Features)))
+	s.U32(uint32(ng))
+	for _, f := range idx.Features {
+		graph.EncodeBinary(s, f)
+	}
+	bitmap := make([]byte, (len(idx.Features)*ng+7)/8)
+	var lo, hi []float64
+	for fi := range idx.Features {
+		for gi, e := range idx.Entries[fi] {
+			if e.Contained && !idx.Masked(gi) {
+				bit := fi*ng + gi
+				bitmap[bit/8] |= 1 << (bit % 8)
+				lo = append(lo, e.Lower)
+				hi = append(hi, e.Upper)
+			}
+		}
+	}
+	s.Bytes(bitmap)
+	s.Align8()
+	s.F64s(lo)
+	s.F64s(hi)
+}
+
+// DecodeBinary reads an index written by EncodeBinary. wantCols is the
+// graph count the caller knows from the enclosing snapshot; it is
+// validated before any row is allocated, so a corrupt header cannot force
+// a huge allocation.
+func DecodeBinary(c *snapbin.Cursor, wantCols int) (*Index, error) {
+	nf := c.Int()
+	ng := c.Int()
+	if c.Err() != nil {
+		return nil, fmt.Errorf("pmi: binary header: %w", c.Err())
+	}
+	if ng != wantCols {
+		return nil, fmt.Errorf("pmi: index covers %d graphs, snapshot has %d", ng, wantCols)
+	}
+	idx := &Index{cols: ng}
+	for fi := 0; fi < nf; fi++ {
+		fg, err := graph.DecodeBinary(c)
+		if err != nil {
+			return nil, fmt.Errorf("pmi: feature %d: %w", fi, err)
+		}
+		idx.Features = append(idx.Features, fg)
+		idx.Codes = append(idx.Codes, graph.CanonicalCode(fg))
+	}
+	bitmap := c.Bytes()
+	c.Align8()
+	lo := c.F64s()
+	hi := c.F64s()
+	if c.Err() != nil {
+		return nil, fmt.Errorf("pmi: binary payload: %w", c.Err())
+	}
+	if len(bitmap) != (nf*ng+7)/8 {
+		return nil, fmt.Errorf("pmi: bitmap has %d bytes, want %d", len(bitmap), (nf*ng+7)/8)
+	}
+	contained := 0
+	for _, b := range bitmap {
+		for ; b != 0; b &= b - 1 {
+			contained++
+		}
+	}
+	if len(lo) != contained || len(hi) != contained {
+		return nil, fmt.Errorf("pmi: %d contained bits but %d/%d bounds", contained, len(lo), len(hi))
+	}
+	next := 0
+	for fi := 0; fi < nf; fi++ {
+		row := make([]Entry, ng)
+		for gi := 0; gi < ng; gi++ {
+			bit := fi*ng + gi
+			if bitmap[bit/8]&(1<<(bit%8)) != 0 {
+				row[gi] = Entry{Contained: true, Lower: lo[next], Upper: hi[next]}
+				next++
+			}
+		}
+		idx.Entries = append(idx.Entries, row)
+	}
+	return idx, nil
+}

@@ -468,11 +468,19 @@ func clampNegLog1m(p float64) float64 {
 // Lookup returns the row Dg of the paper: for each feature contained in
 // gc(gi), its entry. The returned slice is indexed by feature.
 func (idx *Index) Lookup(gi int) []Entry {
-	out := make([]Entry, len(idx.Features))
+	return idx.LookupInto(gi, make([]Entry, 0, len(idx.Features)))
+}
+
+// LookupInto is Lookup gathering into buf (reset to length 0 first): the
+// query hot path calls it once per candidate with a pooled buffer, so the
+// steady state allocates nothing. It allocates only when buf's capacity
+// is short.
+func (idx *Index) LookupInto(gi int, buf []Entry) []Entry {
+	buf = buf[:0]
 	for fi := range idx.Features {
-		out[fi] = idx.Entries[fi][gi]
+		buf = append(buf, idx.Entries[fi][gi])
 	}
-	return out
+	return buf
 }
 
 // NumFeatures returns the number of indexed features.

@@ -65,6 +65,15 @@ func Load(r io.Reader) (*Index, error) {
 // consuming exactly the index's lines — the snapshot codec embeds the Save
 // format as one section of a larger file.
 func LoadFromScanner(sc *bufio.Scanner) (*Index, error) {
+	return LoadFromScannerCols(sc, -1)
+}
+
+// LoadFromScannerCols is LoadFromScanner with the column (graph) count the
+// caller expects, validated against the header before any row is
+// allocated — a corrupt or hostile header cannot force a huge allocation.
+// wantCols < 0 skips the check (standalone Load, where the caller has no
+// database to compare against).
+func LoadFromScannerCols(sc *bufio.Scanner, wantCols int) (*Index, error) {
 	header, err := readNonEmpty(sc)
 	if err != nil {
 		return nil, fmt.Errorf("pmi: reading header: %w", err)
@@ -72,6 +81,12 @@ func LoadFromScanner(sc *bufio.Scanner) (*Index, error) {
 	var nf, ng int
 	if _, err := fmt.Sscanf(header, "pmi v1 %d %d", &nf, &ng); err != nil {
 		return nil, fmt.Errorf("pmi: bad header %q", header)
+	}
+	if nf < 0 || ng < 0 {
+		return nil, fmt.Errorf("pmi: negative dimensions in header %q", header)
+	}
+	if wantCols >= 0 && ng != wantCols {
+		return nil, fmt.Errorf("pmi: index covers %d graphs, want %d", ng, wantCols)
 	}
 	idx := &Index{cols: ng}
 	dec := graph.NewDecoderFromScanner(sc)

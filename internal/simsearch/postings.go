@@ -3,6 +3,7 @@ package simsearch
 import (
 	"context"
 	"slices"
+	"sync"
 
 	"probgraph/internal/graph"
 	"probgraph/internal/pool"
@@ -10,10 +11,10 @@ import (
 
 // The inverted structural index replaces the dense |D|×|F| count-matrix
 // scan with per-feature level postings: for feature f and level k,
-// post[f][k-1] lists (ascending) the graphs containing f at least k times.
-// A query then touches only the postings of features it actually embeds —
-// for each such feature f with query count c_q(f), levels 1..c_q(f) — and
-// accumulates per-graph hits. Since
+// level k of f lists (ascending) the graphs containing f at least k+1
+// times. A query then touches only the postings of features it actually
+// embeds — for each such feature f with query count c_q(f), levels
+// 0..c_q(f)-1 — and accumulates per-graph hits. Since
 //
 //	hits(g) = Σ_f min(c_q(f), c_g(f))
 //	misses(g) = Σ_f max(0, c_q(f) − c_g(f)) = Σ_f c_q(f) − hits(g),
@@ -29,110 +30,110 @@ import (
 // accumulators, candidates emitted in ascending id order per shard, shard
 // outputs concatenated in range order — so the scan fans out over the
 // deterministic worker pool and returns the identical candidate list at
-// every worker count. WithGraph appends to a copy of the last shard
-// (graph ids only grow, so level lists stay sorted) and opens a new shard
-// when it is full; tombstoned graphs keep their posting entries and are
-// filtered at emission.
+// every worker count.
+//
+// Within a shard the postings are three flat int32 slabs rather than a
+// [][][]int32 tree: lvlOff[f] .. lvlOff[f+1] indexes feature f's levels in
+// entOff, and entOff[L] .. entOff[L+1] brackets level L's graph ids in
+// slab. The flat layout is what lets pgsnap v4 mmap a shard straight off
+// disk (three contiguous slices, no pointer fix-up) and keeps the scan's
+// inner loop on one cache-friendly array. The price is that appending a
+// graph rebuilds the last shard's slabs from its count rows — O(shard
+// entries), bounded by the shard width — instead of patching per-level
+// lists; WithGraph pays it, queries never do. Tombstoned graphs keep
+// their posting entries and are filtered at emission.
 
 // DefaultShardSize is the postings shard width used by BuildIndex and by
 // snapshot loads of pre-postings (v1) sections.
 const DefaultShardSize = 256
 
-// shard owns the postings of graphs [lo, lo+n).
+// shard owns the postings of graphs [lo, lo+n) as flat slabs.
 type shard struct {
 	lo int // first graph id owned
 	n  int // graphs currently present
-	// post[f][k-1] lists, ascending, the ids of owned graphs with
-	// count(f) >= k; levels exist only up to the shard's max count of f.
-	post [][][]int32
+	// Levels of feature f are entOff indices lvlOff[f]..lvlOff[f+1]
+	// (exclusive); level L's ids, ascending, are slab[entOff[L]:entOff[L+1]].
+	// len(lvlOff) = nf+1, len(entOff) = lvlOff[nf]+1.
+	lvlOff []int32
+	entOff []int32
+	slab   []int32
 }
 
-// newShard returns an empty shard starting at graph id lo with nf features.
-func newShard(lo, nf int) *shard {
-	return &shard{lo: lo, post: make([][][]int32, nf)}
-}
-
-// add appends graph gi (which must be lo+n, ids only grow) with the given
-// per-feature counts, returning the number of posting entries created.
-// It mutates the shard in place and is only called on shards no published
-// Index references yet (fresh builds, rebuilds); the copy-on-write path
-// goes through cloneCOW + addCOW.
-func (s *shard) add(gi int, row []int) int {
-	entries := 0
-	for fi, c := range row {
-		if c <= 0 {
-			continue
-		}
-		for len(s.post[fi]) < c {
-			s.post[fi] = append(s.post[fi], nil)
-		}
-		for k := 0; k < c; k++ {
-			s.post[fi][k] = append(s.post[fi][k], int32(gi))
-		}
-		entries += c
-	}
-	s.n++
-	return entries
-}
-
-// cloneCOW returns a copy of the shard safe to extend while readers scan
-// the original: the struct and the outer per-feature slice are copied,
-// level lists stay shared until addCOW replaces the ones it touches.
-func (s *shard) cloneCOW() *shard {
-	return &shard{lo: s.lo, n: s.n, post: slices.Clone(s.post)}
-}
-
-// addCOW is add for a cloneCOW'd shard: every slice it writes through is
-// copied first, so the shard this one was cloned from is never mutated.
-// Leaf level lists are extended with plain append — writing at most one
-// element beyond the original length, which readers of the original
-// (whose headers carry the old length) never see; the linear mutation
-// chain guarantees no slot is appended twice.
-func (s *shard) addCOW(gi int, row []int) int {
-	entries := 0
-	for fi, c := range row {
-		if c <= 0 {
-			continue
-		}
-		levels := s.post[fi]
-		nl := make([][]int32, max(len(levels), c))
-		copy(nl, levels)
-		for k := 0; k < c; k++ {
-			nl[k] = append(nl[k], int32(gi))
-		}
-		s.post[fi] = nl
-		entries += c
-	}
-	s.n++
-	return entries
-}
-
-// rebuildShard builds a fresh shard over graphs [lo, lo+n) from their
-// count rows, returning it and its posting-entry count.
-func rebuildShard(lo, n int, counts [][]int, nf int) (*shard, int) {
-	s := newShard(lo, nf)
-	entries := 0
+// rebuildShard builds a fresh shard over graphs [lo, lo+n) from their rows
+// in the flat count slab, returning it and its posting-entry count
+// (len(slab)). Level lists come out ascending because graphs are visited
+// in id order.
+func rebuildShard(lo, n int, counts []int32, nf int) (*shard, int) {
+	s := &shard{lo: lo, n: n, lvlOff: make([]int32, nf+1)}
+	// Pass 1: levels per feature = the max count in the shard.
 	for gi := lo; gi < lo+n; gi++ {
-		entries += s.add(gi, counts[gi])
+		row := counts[gi*nf : (gi+1)*nf]
+		for fi, c := range row {
+			if c > s.lvlOff[fi+1] {
+				s.lvlOff[fi+1] = c
+			}
+		}
 	}
-	return s, entries
+	for fi := 0; fi < nf; fi++ {
+		s.lvlOff[fi+1] += s.lvlOff[fi]
+	}
+	// Pass 2: level sizes, then prefix-sum into entOff.
+	nlv := int(s.lvlOff[nf])
+	s.entOff = make([]int32, nlv+1)
+	for gi := lo; gi < lo+n; gi++ {
+		row := counts[gi*nf : (gi+1)*nf]
+		for fi, c := range row {
+			base := s.lvlOff[fi]
+			for k := int32(0); k < c; k++ {
+				s.entOff[base+k+1]++
+			}
+		}
+	}
+	for l := 0; l < nlv; l++ {
+		s.entOff[l+1] += s.entOff[l]
+	}
+	// Pass 3: fill, advancing a per-level cursor.
+	s.slab = make([]int32, s.entOff[nlv])
+	cur := slices.Clone(s.entOff[:nlv])
+	for gi := lo; gi < lo+n; gi++ {
+		row := counts[gi*nf : (gi+1)*nf]
+		for fi, c := range row {
+			base := s.lvlOff[fi]
+			for k := int32(0); k < c; k++ {
+				s.slab[cur[base+k]] = int32(gi)
+				cur[base+k]++
+			}
+		}
+	}
+	return s, len(s.slab)
 }
+
+// hitsPool recycles the per-scan hit accumulators so a steady stream of
+// queries allocates nothing for them.
+var hitsPool = sync.Pool{New: func() any { return new([]int32) }}
 
 // scan accumulates per-graph hits over the query profile cq and returns
 // the owned graphs with hits >= need and no tombstone, ascending. need
 // must be >= 1; dead may be nil (no tombstones).
 func (s *shard) scan(cq []int, need int, dead []bool) []int {
-	hits := make([]int32, s.n)
+	hp := hitsPool.Get().(*[]int32)
+	hits := *hp
+	if cap(hits) < s.n {
+		hits = make([]int32, s.n)
+	} else {
+		hits = hits[:s.n]
+		clear(hits)
+	}
 	for fi, c := range cq {
 		if c == 0 {
 			continue
 		}
-		levels := s.post[fi]
-		if c > len(levels) {
-			c = len(levels)
+		base := int(s.lvlOff[fi])
+		if nlv := int(s.lvlOff[fi+1]) - base; c > nlv {
+			c = nlv
 		}
 		for k := 0; k < c; k++ {
-			for _, gid := range levels[k] {
+			for _, gid := range s.slab[s.entOff[base+k]:s.entOff[base+k+1]] {
 				hits[int(gid)-s.lo]++
 			}
 		}
@@ -143,24 +144,54 @@ func (s *shard) scan(cq []int, need int, dead []bool) []int {
 			out = append(out, s.lo+off)
 		}
 	}
+	*hp = hits
+	hitsPool.Put(hp)
 	return out
 }
 
-// postingsAdd extends the inverted index with graph gi's counts, opening a
-// new shard when the last one is full (or none exists yet).
-func (ix *Index) postingsAdd(gi int, row []int) {
-	if len(ix.shards) == 0 || ix.shards[len(ix.shards)-1].n >= ix.shardSize {
-		ix.shards = append(ix.shards, newShard(gi, len(ix.Features)))
+// validate checks a shard decoded from untrusted bytes: offsets monotone
+// and mutually consistent, every slab entry inside [lo, lo+n). A shard
+// passing validate can be scanned with any query profile without
+// out-of-range indexing.
+func (s *shard) validate(nf int) bool {
+	if s.n < 0 || s.lo < 0 || len(s.lvlOff) != nf+1 || s.lvlOff[0] != 0 {
+		return false
 	}
-	ix.postEntries += ix.shards[len(ix.shards)-1].add(gi, row)
+	for fi := 0; fi < nf; fi++ {
+		if s.lvlOff[fi+1] < s.lvlOff[fi] {
+			return false
+		}
+	}
+	nlv := int(s.lvlOff[nf])
+	if len(s.entOff) != nlv+1 || (nlv > 0 && s.entOff[0] != 0) || (nlv == 0 && len(s.slab) != 0) {
+		return false
+	}
+	for l := 0; l < nlv; l++ {
+		if s.entOff[l+1] < s.entOff[l] {
+			return false
+		}
+	}
+	if nlv > 0 && int(s.entOff[nlv]) != len(s.slab) {
+		return false
+	}
+	for _, gid := range s.slab {
+		if int(gid) < s.lo || int(gid) >= s.lo+s.n {
+			return false
+		}
+	}
+	return true
 }
 
-// rebuildPostings derives the sharded inverted index from the dense count
-// matrix (deterministic: same counts and shard size ⇒ same postings).
+// rebuildPostings derives the sharded inverted index from the flat count
+// slab (deterministic: same counts and shard size ⇒ same postings).
 func (ix *Index) rebuildPostings() {
 	ix.shards, ix.postEntries = nil, 0
-	for gi, row := range ix.counts {
-		ix.postingsAdd(gi, row)
+	nf := len(ix.Features)
+	for lo := 0; lo < len(ix.dbc); lo += ix.shardSize {
+		n := min(ix.shardSize, len(ix.dbc)-lo)
+		s, entries := rebuildShard(lo, n, ix.counts, nf)
+		ix.shards = append(ix.shards, s)
+		ix.postEntries += entries
 	}
 }
 

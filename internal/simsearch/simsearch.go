@@ -59,8 +59,14 @@ const CountCap = 64
 // Compacted drops the tombstones and renumbers the survivors.
 type Index struct {
 	Features []*graph.Graph
-	counts   [][]int // [graph][feature]
-	dbc      []*graph.Graph
+	// counts is the dense count matrix flattened row-major: graph gi's
+	// row is counts[gi*nf : (gi+1)*nf] with nf = len(Features). The flat
+	// slab is what pgsnap v4 maps straight off disk; a slab loaded that
+	// way is read-only, which the copy-on-write discipline already
+	// guarantees (mutations append past len — reallocating, since a
+	// mapped slab has len == cap — or clone before writing).
+	counts []int32
+	dbc    []*graph.Graph
 
 	// dead marks tombstoned slots (nil = all live); tombs counts them.
 	// Dead slots keep their counts row and posting entries but are
@@ -135,23 +141,25 @@ func BuildIndexSharded(dbc []*graph.Graph, features []*graph.Graph, shardSize in
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
 	}
-	ix := &Index{Features: features, dbc: dbc, counts: make([][]int, len(dbc)), shardSize: shardSize}
-	for gi, g := range dbc {
-		row := make([]int, len(features))
-		for fi, f := range features {
-			row[fi] = iso.Count(f, g, nil, CountCap)
-		}
-		ix.counts[gi] = row
-		ix.postingsAdd(gi, row)
+	ix := &Index{Features: features, dbc: dbc, counts: make([]int32, 0, len(dbc)*len(features)), shardSize: shardSize}
+	for _, g := range dbc {
+		ix.counts = append(ix.counts, ix.countRow(g)...)
 	}
+	ix.rebuildPostings()
 	return ix
 }
 
+// row returns graph gi's slice of the flat count slab.
+func (ix *Index) row(gi int) []int32 {
+	nf := len(ix.Features)
+	return ix.counts[gi*nf : (gi+1)*nf]
+}
+
 // countRow computes one graph's capped feature-count row.
-func (ix *Index) countRow(g *graph.Graph) []int {
-	row := make([]int, len(ix.Features))
+func (ix *Index) countRow(g *graph.Graph) []int32 {
+	row := make([]int32, len(ix.Features))
 	for fi, f := range ix.Features {
-		row[fi] = iso.Count(f, g, nil, CountCap)
+		row[fi] = int32(iso.Count(f, g, nil, CountCap))
 	}
 	return row
 }
@@ -182,21 +190,25 @@ func (ix *Index) clone() *Index {
 func (ix *Index) WithGraph(g *graph.Graph) *Index {
 	row := ix.countRow(g)
 	n := ix.clone()
-	gi := len(ix.counts)
-	n.counts = append(ix.counts, row)
+	gi := len(ix.dbc)
+	n.counts = append(ix.counts, row...)
 	n.dbc = append(ix.dbc, g)
 	if ix.dead != nil {
 		n.dead = append(ix.dead, false)
 	}
+	// The flat shard layout cannot be patched in place, so the shard
+	// gaining the graph is rebuilt from its count rows — O(shard entries),
+	// bounded by the shard width; every other shard is shared.
 	n.shards = slices.Clone(ix.shards)
 	last := len(n.shards) - 1
 	if last < 0 || n.shards[last].n >= n.shardSize {
-		s := newShard(gi, len(n.Features))
-		n.postEntries += s.add(gi, row)
+		s, entries := rebuildShard(gi, 1, n.counts, len(n.Features))
+		n.postEntries += entries
 		n.shards = append(n.shards, s)
 	} else {
-		s := n.shards[last].cloneCOW()
-		n.postEntries += s.addCOW(gi, row)
+		old := n.shards[last]
+		s, entries := rebuildShard(old.lo, old.n+1, n.counts, len(n.Features))
+		n.postEntries += entries - len(old.slab)
 		n.shards[last] = s
 	}
 	return n
@@ -216,15 +228,14 @@ func (ix *Index) WithReplaced(gi int, g *graph.Graph) *Index {
 	row := ix.countRow(g)
 	n := ix.clone()
 	n.counts = slices.Clone(ix.counts)
-	n.counts[gi] = row
+	copy(n.row(gi), row)
 	n.dbc = slices.Clone(ix.dbc)
 	n.dbc[gi] = g
 	n.shards = slices.Clone(ix.shards)
 	for si, s := range n.shards {
 		if gi >= s.lo && gi < s.lo+s.n {
-			n.postEntries -= countEntries(ix.counts[s.lo : s.lo+s.n])
 			fresh, added := rebuildShard(s.lo, s.n, n.counts, len(n.Features))
-			n.postEntries += added
+			n.postEntries += added - len(s.slab)
 			n.shards[si] = fresh
 			break
 		}
@@ -237,11 +248,11 @@ func (ix *Index) WithReplaced(gi int, g *graph.Graph) *Index {
 // postings are rebuilt from the surviving count rows (no re-counting).
 func (ix *Index) Compacted() *Index {
 	n := &Index{Features: ix.Features, shardSize: ix.shardSize}
-	for gi, row := range ix.counts {
+	for gi := range ix.dbc {
 		if ix.dead != nil && ix.dead[gi] {
 			continue
 		}
-		n.counts = append(n.counts, row)
+		n.counts = append(n.counts, ix.row(gi)...)
 		n.dbc = append(n.dbc, ix.dbc[gi])
 	}
 	n.rebuildPostings()
@@ -255,7 +266,7 @@ func (ix *Index) WithTombstones(ids []int) *Index {
 		return ix
 	}
 	n := ix.clone()
-	n.dead = make([]bool, len(ix.counts))
+	n.dead = make([]bool, len(ix.dbc))
 	copy(n.dead, ix.dead)
 	for _, gi := range ids {
 		if !n.dead[gi] {
@@ -271,19 +282,6 @@ func (ix *Index) Tombstones() int { return ix.tombs }
 
 // Live reports whether slot gi holds a live (non-tombstoned) graph.
 func (ix *Index) Live(gi int) bool { return ix.dead == nil || !ix.dead[gi] }
-
-// countEntries sums the posting entries of a range of count rows.
-func countEntries(rows [][]int) int {
-	total := 0
-	for _, row := range rows {
-		for _, c := range row {
-			if c > 0 {
-				total += c
-			}
-		}
-	}
-	return total
-}
 
 // Save writes the counting features and the per-graph count matrix:
 //
@@ -312,12 +310,12 @@ func (ix *Index) Save(w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(bw, "counts")
-	for _, row := range ix.counts {
-		for fi, c := range row {
+	for gi := range ix.dbc {
+		for fi, c := range ix.row(gi) {
 			if fi > 0 {
 				bw.WriteByte(' ')
 			}
-			bw.WriteString(strconv.Itoa(c))
+			bw.WriteString(strconv.Itoa(int(c)))
 		}
 		bw.WriteByte('\n')
 	}
@@ -368,8 +366,7 @@ func LoadFromScanner(sc *bufio.Scanner, dbc []*graph.Graph) (*Index, error) {
 	for gi := 0; gi < ng; gi++ {
 		if nf == 0 {
 			// A zero-feature row serializes as a blank line, which the
-			// scanner skips; materialize the empty rows directly.
-			ix.counts = append(ix.counts, []int{})
+			// scanner skips; there is nothing to append.
 			continue
 		}
 		line, err = scanNonEmpty(sc)
@@ -380,15 +377,13 @@ func LoadFromScanner(sc *bufio.Scanner, dbc []*graph.Graph) (*Index, error) {
 		if len(fields) != nf {
 			return nil, fmt.Errorf("simsearch: graph %d: %d counts, want %d", gi, len(fields), nf)
 		}
-		row := make([]int, nf)
-		for fi, tok := range fields {
-			v, err := strconv.Atoi(tok)
+		for _, tok := range fields {
+			v, err := strconv.ParseInt(tok, 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("simsearch: graph %d: bad count %q", gi, tok)
 			}
-			row[fi] = v
+			ix.counts = append(ix.counts, int32(v))
 		}
-		ix.counts = append(ix.counts, row)
 	}
 	line, err = scanNonEmpty(sc)
 	if err != nil {
@@ -450,8 +445,9 @@ func (ix *Index) CandidatesDense(q *graph.Graph, delta int) []int {
 			continue
 		}
 		misses := 0
+		row := ix.row(gi)
 		for fi := range ix.Features {
-			if d := cq[fi] - ix.counts[gi][fi]; d > 0 {
+			if d := cq[fi] - int(row[fi]); d > 0 {
 				misses += d
 			}
 		}

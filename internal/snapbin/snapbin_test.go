@@ -1,0 +1,136 @@
+package snapbin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	a := w.Section(1)
+	a.U32(7)
+	a.Str("hello world")
+	a.F64(math.Pi)
+	a.I32s([]int32{-1, 0, 1, 1 << 30})
+	b := w.Section(2)
+	b.F64s([]float64{0, math.Copysign(0, -1), 1e300, math.Inf(1)})
+	b.Bytes([]byte{9, 8, 7})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSample(t)
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.NumSections() != 2 {
+		t.Fatalf("sections = %d, want 2", s.NumSections())
+	}
+	sec, ok := s.Section(1)
+	if !ok {
+		t.Fatal("section 1 missing")
+	}
+	c := NewCursor(sec)
+	if v := c.U32(); v != 7 {
+		t.Errorf("U32 = %d", v)
+	}
+	if v := c.Str(); v != "hello world" {
+		t.Errorf("Str = %q", v)
+	}
+	if v := c.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	ints := c.I32s()
+	if len(ints) != 4 || ints[0] != -1 || ints[3] != 1<<30 {
+		t.Errorf("I32s = %v", ints)
+	}
+	if c.Err() != nil || c.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", c.Err(), c.Remaining())
+	}
+	sec2, _ := s.Section(2)
+	c2 := NewCursor(sec2)
+	fs := c2.F64s()
+	if len(fs) != 4 || math.Float64bits(fs[1]) != math.Float64bits(math.Copysign(0, -1)) || !math.IsInf(fs[3], 1) {
+		t.Errorf("F64s = %v", fs)
+	}
+	if got := c2.Bytes(); !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if c2.Err() != nil {
+		t.Errorf("cursor err: %v", c2.Err())
+	}
+}
+
+func TestSectionAlignment(t *testing.T) {
+	data := buildSample(t)
+	count := binary.LittleEndian.Uint64(data[8:16])
+	for i := uint64(0); i < count; i++ {
+		off := binary.LittleEndian.Uint64(data[16+24*i+8:])
+		if off%8 != 0 {
+			t.Errorf("section %d offset %d not 8-byte aligned", i, off)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	if !bytes.Equal(buildSample(t), buildSample(t)) {
+		t.Fatal("same sections produced different bytes")
+	}
+}
+
+func TestCorruptInputsError(t *testing.T) {
+	data := buildSample(t)
+	// Truncations at every length must error or parse, never panic.
+	for n := 0; n < len(data); n++ {
+		s, err := Parse(data[:n])
+		if err != nil {
+			continue
+		}
+		for k := uint64(1); k <= 2; k++ {
+			if sec, ok := s.Section(k); ok {
+				c := NewCursor(sec)
+				c.U32()
+				c.Str()
+				c.I32s()
+				c.F64s()
+				_ = c.Err()
+			}
+		}
+	}
+	// Absurd slab count must error before allocating.
+	w := NewWriter()
+	s := w.Section(1)
+	s.U64(1 << 60) // claims 2^60 int32s
+	var buf bytes.Buffer
+	w.WriteTo(&buf)
+	snap, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sec, _ := snap.Section(1)
+	c := NewCursor(sec)
+	if got := c.I32s(); got != nil || c.Err() == nil {
+		t.Fatalf("oversized slab: got %v err %v, want nil + error", got, c.Err())
+	}
+}
+
+func TestCursorStickyError(t *testing.T) {
+	c := NewCursor([]byte{1, 2})
+	if c.U32(); c.Err() == nil {
+		t.Fatal("want error on short read")
+	}
+	first := c.Err()
+	c.U64()
+	c.Str()
+	if c.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}

@@ -289,6 +289,28 @@ func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Load(r) }
 // queries exactly as the database that wrote the snapshot would.
 func LoadDatabase(r io.Reader) (*Database, error) { return core.LoadDatabase(r) }
 
+// SnapshotFormat selects the on-disk snapshot encoding for SaveFile and
+// SaveAs (on the aliased core type): SnapshotText is the line-oriented v3
+// format, SnapshotBinary the mmap-friendly v4 one. LoadDatabase and
+// OpenSnapshot sniff the format, so readers never choose.
+type SnapshotFormat = core.SnapshotFormat
+
+const (
+	SnapshotText   = core.SnapshotText
+	SnapshotBinary = core.SnapshotBinary
+)
+
+// ParseSnapshotFormat reads a -format flag value ("text", "binary", or
+// empty for the default).
+func ParseSnapshotFormat(s string) (SnapshotFormat, error) { return core.ParseSnapshotFormat(s) }
+
+// OpenSnapshot opens a snapshot file directly: binary (v4) snapshots are
+// memory-mapped, so startup does no full-corpus parse and the page cache
+// is shared across processes serving the same file; text snapshots fall
+// back to LoadDatabase. Either way the database answers bitwise like the
+// one that wrote the file.
+func OpenSnapshot(path string) (*Database, error) { return core.OpenSnapshot(path) }
+
 // SaveGraph writes one certain graph in the line-oriented text codec (the
 // format of pgsearch -qfile query files). Labels survive spaces, '#', and
 // unicode via token escaping.
