@@ -7,6 +7,7 @@
 //	pgbench [-scale tiny|small|full] [-fig all|9a|9b|10|11|12|13|14|scaling|filter|churn|perf]
 //	        [-workers N] [-seed N] [-json out.json] [-churn rates]
 //	        [-baseline BENCH_baseline.json] [-baseline-tolerance 0.15]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Absolute timings are machine-dependent; the reproduction target is the
 // shape of each series (see EXPERIMENTS.md).
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"probgraph/internal/experiments"
+	"probgraph/internal/obs"
 	"probgraph/internal/stats"
 )
 
@@ -81,10 +83,17 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
 	churnRates := flag.String("churn", "0,20,100",
 		"comma-separated background mutation rates (mutations/s) for -fig churn")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering index build + figures to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	baseline := flag.String("baseline", "", "compare this run's p50/p99 columns against a previous -json export; regressions beyond the tolerance exit 4")
 	baselineTol := flag.Float64("baseline-tolerance", 0.15,
 		"allowed fractional p50/p99 regression vs -baseline (0.15 = 15%)")
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
 	fmt.Printf("pgbench: scale=%s fig=%s seed=%d workers=%d\n", *scale, *fig, *seed, *workers)
@@ -171,6 +180,13 @@ func main() {
 	}
 	if strings.EqualFold(*fig, "perf") {
 		run("perf", one(env.Perf))
+	}
+
+	// Profiles cover build + figures and are flushed here, before the
+	// baseline gate — its os.Exit(4) must not lose them.
+	stopCPU()
+	if err := obs.WriteHeapProfile(*memprofile); err != nil {
+		log.Fatal(err)
 	}
 
 	if *jsonPath != "" {

@@ -35,6 +35,7 @@ import (
 	"os"
 
 	"probgraph"
+	"probgraph/internal/obs"
 )
 
 func main() {
@@ -56,7 +57,20 @@ func main() {
 	from := flag.String("from", "", "query mode: extract from this database file (default: generate)")
 	qsize := flag.Int("qsize", 6, "query mode: query size (edges)")
 	qfrom := flag.Int("qfrom", 0, "query mode: index of the source graph")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (generation + -savesnap index build) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	// One-line rejections for out-of-range knobs, before any generation
 	// work: probabilities must be valid, sizes positive.

@@ -7,7 +7,8 @@
 //	pgsearch -db db.pgraph [-epsilon 0.5] [-delta 2] [-qsize 6]
 //	         [-qfrom 0] [-queries 5] [-qfile q.pgraph] [-verifier smp|exact|none]
 //	         [-plain] [-workers 1] [-batch] [-seed 1] [-v] [-json]
-//	         [-timeout 0] [-stream] [-savesnap db.idx] [-format text|binary]
+//	         [-timeout 0] [-stream] [-trace] [-savesnap db.idx]
+//	         [-format text|binary]
 //	pgsearch -loadsnap db.idx ...   (start from a snapshot, no re-indexing)
 //
 // Queries are extracted from the certain graph of the graph at index
@@ -37,6 +38,11 @@
 // one summary line per query with the sorted answer set — which is
 // bitwise-identical to the answers the non-streaming run reports, at any
 // -workers. -stream implies NDJSON output and excludes -batch.
+//
+// -trace prints each query's span tree — pipeline stages (struct filter
+// with per-shard scan spans, relax, PMI prune, verify) with durations and
+// item counts — to stderr as JSON, leaving stdout untouched. Traced and
+// untraced runs return identical answers.
 package main
 
 import (
@@ -52,8 +58,32 @@ import (
 	"time"
 
 	"probgraph"
+	"probgraph/internal/obs"
 	"probgraph/internal/stats"
 )
+
+// tracedCtx attaches a fresh trace root to ctx when -trace is on. The
+// returned done ends the root and prints the span tree to stderr (stdout
+// stays reserved for results and NDJSON). Tracing is observational only:
+// answers and stats are identical with and without it.
+func tracedCtx(ctx context.Context, enabled bool, label string) (context.Context, func()) {
+	if !enabled {
+		return ctx, func() {}
+	}
+	tr := obs.NewTrace()
+	root := tr.Root(label)
+	return obs.ContextWithSpan(ctx, root), func() {
+		root.End()
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			TraceID string        `json:"trace_id"`
+			Trace   *obs.SpanNode `json:"trace"`
+		}{tr.ID(), tr.Tree()}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
 
 func main() {
 	dbPath := flag.String("db", "", "database file from pggen")
@@ -77,6 +107,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print results as JSON to stdout (suppresses tables)")
 	timeout := flag.Duration("timeout", 0, "deadline for the query run (0 = none; expiry exits 3)")
 	stream := flag.Bool("stream", false, "stream matches as NDJSON while verification admits them")
+	trace := flag.Bool("trace", false, "print each query's span tree (pipeline stages, per-shard scans) to stderr as JSON")
 	flag.Parse()
 
 	if (*dbPath == "") == (*loadSnap == "") {
@@ -241,18 +272,20 @@ func main() {
 			Epsilon: *epsilon, Delta: *delta,
 			OptBounds: !*plain, Verifier: vk,
 			Seed: *seed, Concurrency: *workers,
-		}, exitOnDeadline)
+		}, *trace, exitOnDeadline)
 		return
 	}
 
 	qStart := time.Now()
 	results := make([]*probgraph.Result, len(qs))
 	if *batch {
-		rs, err := db.QueryBatchCtx(ctx, qs, probgraph.QueryOptions{
+		bctx, done := tracedCtx(ctx, *trace, "batch")
+		rs, err := db.QueryBatchCtx(bctx, qs, probgraph.QueryOptions{
 			Epsilon: *epsilon, Delta: *delta,
 			OptBounds: !*plain, Verifier: vk,
 			Seed: *seed, Concurrency: *workers,
 		})
+		done()
 		if err != nil {
 			exitOnDeadline(err)
 			log.Fatal(err)
@@ -262,11 +295,13 @@ func main() {
 		for i, q := range qs {
 			// Same per-query seed derivation as QueryBatch, so -batch
 			// changes scheduling only, never answers.
-			res, err := db.QueryCtx(ctx, q, probgraph.QueryOptions{
+			qctx, done := tracedCtx(ctx, *trace, fmt.Sprintf("q%d", i))
+			res, err := db.QueryCtx(qctx, q, probgraph.QueryOptions{
 				Epsilon: *epsilon, Delta: *delta,
 				OptBounds: !*plain, Verifier: vk,
 				Seed: probgraph.BatchSeed(*seed, i), Concurrency: *workers,
 			})
+			done()
 			if err != nil {
 				exitOnDeadline(err)
 				log.Fatal(err)
@@ -333,14 +368,15 @@ type streamSummaryJSON struct {
 // exactly as in the non-streaming path (BatchSeed), so the summary line's
 // sorted answers match a plain run with the same flags.
 func runStream(ctx context.Context, db *probgraph.Database, qs []*probgraph.Graph,
-	opt probgraph.QueryOptions, exitOnDeadline func(error)) {
+	opt probgraph.QueryOptions, trace bool, exitOnDeadline func(error)) {
 	enc := json.NewEncoder(os.Stdout)
 	for i, q := range qs {
 		qo := opt
 		qo.Seed = probgraph.BatchSeed(opt.Seed, i)
 		start := time.Now()
 		var answers []int
-		for m, err := range db.QueryStream(ctx, q, qo) {
+		qctx, done := tracedCtx(ctx, trace, fmt.Sprintf("q%d", i))
+		for m, err := range db.QueryStream(qctx, q, qo) {
 			if err != nil {
 				exitOnDeadline(err)
 				log.Fatal(err)
@@ -352,6 +388,7 @@ func runStream(ctx context.Context, db *probgraph.Database, qs []*probgraph.Grap
 			}
 			answers = append(answers, m.Graph)
 		}
+		done()
 		sort.Ints(answers)
 		if answers == nil {
 			answers = []int{}

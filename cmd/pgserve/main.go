@@ -7,6 +7,8 @@
 //
 //	pgserve -snapshot db.idx [-addr :8091] [-cache 256] [-workers -1]
 //	        [-inflight 0] [-timeout 0] [-compact-threshold 0.5]
+//	        [-log-format text|json] [-log-level info] [-slowlog 32]
+//	        [-pprof-addr 127.0.0.1:6060]
 //	pgserve -db db.pgraph ...   (build the index at startup instead)
 //
 // With -snapshot (written by pgsearch -savesnap, pggen -savesnap, or
@@ -31,7 +33,17 @@
 //	DELETE /graphs/{id} RemoveGraph: tombstones the slot, indices stay stable
 //	PUT    /graphs/{id} ReplaceGraph: swaps the slot's graph (re-scored JPTs)
 //	GET  /stats         server + cache counters, generation, live/tombstoned
+//	GET  /metrics       Prometheus text exposition of the same counters
+//	GET  /debug/slowlog the -slowlog slowest queries with their span trees
 //	GET  /healthz       liveness probe
+//
+// Observability: every query endpoint carries a per-request trace — the
+// response's X-PG-Trace-Id header names it, and trace=1 (URL knob or
+// request body field) inlines the span tree (struct filter → PMI prune →
+// verify, with per-shard scan spans) in the JSON reply. /metrics serves
+// the full counter/histogram registry; -pprof-addr exposes net/http/pprof
+// on a separate listener (never on the public API address). Logs are
+// structured (log/slog); -log-format json emits one JSON object per line.
 //
 // The database is generation-numbered: every query pins the current view,
 // so mutations never block queries and a query never sees a half-applied
@@ -40,7 +52,8 @@
 // generation. -compact-threshold controls auto-compaction: once more than
 // that fraction of slots is tombstoned, the triggering mutation also
 // compacts the database — dropping tombstones and renumbering graph
-// indices (its response carries "compacted": true).
+// indices (its response carries "compacted": true and the slot count
+// reclaimed).
 //
 // Every request runs under a context: the client disconnecting, the
 // request's timeout_ms (or the -timeout default) expiring, or pgserve
@@ -50,7 +63,9 @@
 //
 // Every response is bitwise-identical to the corresponding library call
 // with the same seed; workers changes latency, never answers, and a
-// stream's sorted answer set equals /query's.
+// stream's sorted answer set equals /query's. Tracing and metrics are
+// purely observational — a traced query returns the same bytes as an
+// untraced one (minus the trace field itself).
 package main
 
 import (
@@ -58,9 +73,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +84,7 @@ import (
 
 	"probgraph"
 	"probgraph/internal/core"
+	"probgraph/internal/obs"
 	"probgraph/internal/server"
 )
 
@@ -81,7 +98,18 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request evaluation deadline (0 = none; requests override via timeout_ms)")
 	compactThreshold := flag.Float64("compact-threshold", 0.5,
 		"auto-compact once tombstoned/total slots exceeds this fraction (renumbers graph indices; <=0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	slowlogSize := flag.Int("slowlog", 32, "slow-query ring size served at /debug/slowlog (<0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgserve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if (*snapshot == "") == (*dbPath == "") {
 		fmt.Fprintln(os.Stderr, "pgserve: give exactly one of -snapshot or -db")
@@ -97,50 +125,88 @@ func main() {
 		os.Exit(2)
 	}
 
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	loadGauge := reg.Gauge("pg_snapshot_load_seconds",
+		"Time spent loading the snapshot (or building the index) at startup.")
+
 	start := time.Now()
 	var db *core.Database
 	switch {
 	case *snapshot != "":
-		var err error
 		db, err = probgraph.OpenSnapshot(*snapshot)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("opened snapshot %s: %d graphs, %d PMI features in %v (no mining)",
-			*snapshot, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
+		loadGauge.Set(time.Since(start).Seconds())
+		logger.Info("opened snapshot (no mining)",
+			"path", *snapshot, "graphs", db.Len(), "pmi_features", pmiFeatures(db),
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	default:
 		f, err := os.Open(*dbPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		raw, err := probgraph.LoadDataset(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		db, err = probgraph.NewDatabase(raw.Graphs, probgraph.DefaultBuildOptions())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("indexed %s: %d graphs, %d PMI features in %v",
-			*dbPath, db.Len(), pmiFeatures(db), time.Since(start).Round(time.Millisecond))
+		loadGauge.Set(time.Since(start).Seconds())
+		logger.Info("indexed dataset",
+			"path", *dbPath, "graphs", db.Len(), "pmi_features", pmiFeatures(db),
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 
 	db.SetCompactThreshold(*compactThreshold)
 	srv := server.New(db, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, MaxInflight: *inflight,
-		Timeout: *timeout,
+		Timeout:     *timeout,
+		Metrics:     reg,
+		SlowlogSize: *slowlogSize,
 		// One structured line per committed mutation: old→new generation,
 		// resulting shape, and whether auto-compaction renumbered indices.
 		MutationLog: func(ev server.MutationEvent) {
-			log.Printf("mutation op=%s index=%d gen=%d->%d live=%d tombstoned=%d compacted=%t",
-				ev.Op, ev.Index, ev.OldGeneration, ev.NewGeneration,
-				ev.LiveGraphs, ev.Tombstoned, ev.Compacted)
+			attrs := []any{
+				"op", ev.Op, "index", ev.Index,
+				"old_generation", ev.OldGeneration, "new_generation", ev.NewGeneration,
+				"live", ev.LiveGraphs, "tombstoned", ev.Tombstoned,
+				"compacted", ev.Compacted,
+			}
+			if ev.Compacted {
+				attrs = append(attrs, "compacted_slots", ev.CompactedSlots)
+			}
+			logger.Info("mutation", attrs...)
 		},
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is never
+		// reachable through the public API address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:    *addr,
@@ -163,17 +229,17 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (cache=%d workers=%d timeout=%v)", *addr, *cacheSize, *workers, *timeout)
+	logger.Info("serving", "addr", *addr, "cache", *cacheSize, "workers", *workers, "timeout", timeout.String())
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
-		log.Print("shutting down (in-flight queries cancelled)")
+		logger.Info("shutting down (in-flight queries cancelled)")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}
 }

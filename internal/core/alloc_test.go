@@ -10,6 +10,7 @@ import (
 
 	"probgraph/internal/dataset"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/relax"
 )
 
@@ -133,6 +134,59 @@ func TestEvalCandidateParallelAllocs(t *testing.T) {
 				t.Errorf("parallel evalCandidate allocates %.3f allocs/candidate at %d workers, want ~0", best, workers)
 			}
 		})
+	}
+}
+
+// TestTracingDisabledAddsNoAllocs pins the observability contract on the
+// allocation budget: the span instrumentation threaded through the query
+// pipeline costs nothing when tracing is off, and a bounded constant —
+// independent of the candidate count — when it is on.
+//
+// Three measurements of the same full v.query call:
+//   - plain context (how every pre-observability caller runs),
+//   - context that went through ContextWithSpan with a zero Span (the
+//     disabled path must be literally the same context, so same allocs),
+//   - live trace (extra allocs allowed, but only for the handful of
+//     stage/shard spans — never per candidate).
+func TestTracingDisabledAddsNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation counts jitter under the race runtime")
+	}
+	db, raw := snapDB(t, 12)
+	v := db.View()
+	q := snapQueries(t, raw, 1)[0]
+	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 7}.withDefaults()
+
+	run := func(ctx context.Context) {
+		if _, err := v.query(ctx, q, opt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(context.Background()) // warm scratch pools and lazy engines
+
+	plain := testing.AllocsPerRun(50, func() { run(context.Background()) })
+	disabled := testing.AllocsPerRun(50, func() {
+		run(obs.ContextWithSpan(context.Background(), obs.Span{}))
+	})
+	if disabled != plain {
+		t.Errorf("disabled tracing changes the allocation budget: %.1f allocs vs %.1f plain", disabled, plain)
+	}
+
+	traced := testing.AllocsPerRun(50, func() {
+		tr := obs.NewTrace()
+		root := tr.Root("query")
+		run(obs.ContextWithSpan(context.Background(), root))
+		root.End()
+	})
+	// The traced run may allocate the trace, the root, and one span per
+	// pipeline stage / postings shard — a small constant. Anything that
+	// scales with candidates (the fixture corpus has 12) is a regression
+	// into the per-candidate hot path.
+	shards, _ := v.Struct.PostingsStats()
+	budget := plain + 8*float64(8+shards)
+	if traced > budget {
+		t.Errorf("traced query allocates %.1f, untraced %.1f; span overhead exceeds constant budget %.1f",
+			traced, plain, budget)
 	}
 }
 

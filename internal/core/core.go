@@ -259,6 +259,9 @@ type Mutation struct {
 	LiveGraphs    int
 	Tombstoned    int
 	Compacted     bool
+	// CompactedSlots is the number of tombstoned slots reclaimed when
+	// Compacted is true (the shrink in View.Len), 0 otherwise.
+	CompactedSlots int
 }
 
 // record fills the post-state fields from the committed view.
@@ -365,6 +368,9 @@ func (db *Database) RemoveGraphInfo(id int) (Mutation, error) {
 	final := db.maybeCompact(&nv)
 	db.cur.Store(final)
 	m := Mutation{Index: id, Compacted: final != &nv}
+	if m.Compacted {
+		m.CompactedSlots = nv.Len() - final.Len()
+	}
 	m.record(v, final)
 	return m, nil
 }

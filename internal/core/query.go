@@ -10,6 +10,7 @@ import (
 	"probgraph/internal/cover"
 	"probgraph/internal/graph"
 	"probgraph/internal/iso"
+	"probgraph/internal/obs"
 	"probgraph/internal/pmi"
 	"probgraph/internal/prob"
 	"probgraph/internal/qp"
@@ -113,6 +114,27 @@ type Stats struct {
 	TimeProb   time.Duration
 	TimeVerify time.Duration
 	TimeTotal  time.Duration
+}
+
+// observe bridges the query's stats into the process-wide pipeline
+// metrics, if the caller attached one to ctx (the server does, per
+// request). A context without a pipeline makes this free; observing
+// happens once at query exit, so hot per-candidate paths never touch it.
+func (s Stats) observe(ctx context.Context) {
+	if p := obs.PipelineFrom(ctx); p != nil {
+		p.Observe(obs.PipelineStats{
+			StructFilterCandidates: s.StructFilterCandidates,
+			StructConfirmed:        s.StructConfirmed,
+			PrunedByUpper:          s.PrunedByUpper,
+			AcceptedByLower:        s.AcceptedByLower,
+			VerifyCandidates:       s.VerifyCandidates,
+			Answers:                s.Answers,
+			RelaxedQueries:         s.RelaxedQueries,
+			TimeStruct:             s.TimeStruct,
+			TimeProb:               s.TimeProb,
+			TimeVerify:             s.TimeVerify,
+		})
+	}
 }
 
 // Result is a query outcome.
@@ -223,6 +245,7 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 		return nil, err
 	}
 	start := time.Now()
+	parent := obs.SpanFrom(ctx)
 	res := &Result{SSP: make(map[int]float64)}
 
 	// Degenerate relaxation: δ ≥ |q| makes every world a match (the empty
@@ -237,13 +260,16 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 		}
 		res.Stats.Answers = len(res.Answers)
 		res.Stats.TimeTotal = time.Since(start)
+		res.Stats.observe(ctx)
 		return res, nil
 	}
 
 	// Phase 1: structural pruning (Theorem 1). The inverted-postings scan
 	// and the exact confirmations share the query's worker pool.
 	t0 := time.Now()
-	scq, filterCount, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	sp := parent.Child("struct_filter")
+	scq, filterCount, err := v.Struct.SCqCtx(obs.ContextWithSpan(ctx, sp), q, opt.Delta, opt.Concurrency)
+	sp.EndCount(int64(len(scq)))
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +278,9 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 	res.Stats.TimeStruct = time.Since(t0)
 
 	// Relaxed query set U (Lemma 1).
+	sp = parent.Child("relax")
 	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	sp.EndCount(int64(len(u)))
 	res.Stats.RelaxedQueries = len(u)
 
 	// Phases 2+3, fused per candidate: probabilistic pruning via PMI
@@ -266,7 +294,9 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 	var pr *pruner
 	if probActive {
 		t := time.Now()
+		sp = parent.Child("pmi_prune")
 		pr, err = v.newPruner(ctx, u, opt, cache)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +304,7 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 	}
 	outs := make([]candOutcome, len(scq))
 	var abort atomic.Bool // first verification error stops remaining work
+	sp = parent.Child("verify")
 	err = forEachIndexCtx(ctx, len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
 		if abort.Load() {
 			return // a pending error makes this candidate's work moot
@@ -283,6 +314,7 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 			abort.Store(true)
 		}
 	})
+	sp.EndCount(int64(len(scq)))
 	if err != nil {
 		return nil, err
 	}
@@ -318,6 +350,7 @@ func (v *View) query(ctx context.Context, q *graph.Graph, opt QueryOptions, cach
 	sortInts(res.Answers)
 	res.Stats.Answers = len(res.Answers)
 	res.Stats.TimeTotal = time.Since(start)
+	res.Stats.observe(ctx)
 	return res, nil
 }
 

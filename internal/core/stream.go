@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"iter"
+	"sync/atomic"
 
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/relax"
 )
 
@@ -81,7 +83,10 @@ func (v *View) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions
 			return
 		}
 
-		scq, _, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+		parent := obs.SpanFrom(ctx)
+		sp := parent.Child("struct_filter")
+		scq, filterCount, err := v.Struct.SCqCtx(obs.ContextWithSpan(ctx, sp), q, opt.Delta, opt.Concurrency)
+		sp.EndCount(int64(len(scq)))
 		if err != nil {
 			yield(Match{}, err)
 			return
@@ -89,7 +94,9 @@ func (v *View) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions
 		u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
 		var pr *pruner
 		if !opt.SkipProbPruning && v.PMI != nil {
+			sp = parent.Child("pmi_prune")
 			pr, err = v.newPruner(ctx, u, opt, nil)
+			sp.End()
 			if err != nil {
 				yield(Match{}, err)
 				return
@@ -113,8 +120,15 @@ func (v *View) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions
 		}
 		out := make(chan item)
 		finished := make(chan struct{})
+		// When a pipeline is attached, tally outcomes with atomics (the
+		// workers race) and fold them into the process counters once all
+		// workers have exited — before finished closes, so the tally is
+		// complete on every exit path, including early consumer breaks.
+		pipe := obs.PipelineFrom(ctx)
+		var pruned, accepted, verified, answers atomic.Int64
 		go func() {
 			defer close(finished)
+			sp := parent.Child("verify")
 			forEachIndexCtx(inner, len(scq), normalizeWorkers(opt.Concurrency, len(scq)), func(i int) {
 				gi := scq[i]
 				o := v.evalCandidate(q, u, pr, gi, opt)
@@ -126,12 +140,36 @@ func (v *View) QueryStream(ctx context.Context, q *graph.Graph, opt QueryOptions
 					cancel() // stop handing out further candidates
 					return
 				}
-				if match, ssp := outcomeMatch(o, opt); match {
+				match, ssp := outcomeMatch(o, opt)
+				if pipe != nil {
+					switch o.verdict {
+					case judgePrune:
+						pruned.Add(1)
+					case judgeAccept:
+						accepted.Add(1)
+					default:
+						verified.Add(1)
+					}
+					if match {
+						answers.Add(1)
+					}
+				}
+				if match {
 					select {
 					case out <- item{m: Match{Graph: gi, SSP: ssp}}:
 					case <-inner.Done():
 					}
 				}
+			})
+			sp.EndCount(int64(len(scq)))
+			pipe.Observe(obs.PipelineStats{
+				StructFilterCandidates: filterCount,
+				StructConfirmed:        len(scq),
+				PrunedByUpper:          int(pruned.Load()),
+				AcceptedByLower:        int(accepted.Load()),
+				VerifyCandidates:       int(verified.Load()),
+				Answers:                int(answers.Load()),
+				RelaxedQueries:         len(u),
 			})
 		}()
 		// Join the workers on every exit path — the iterator must not

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/relax"
 )
 
@@ -74,14 +75,19 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 		}
 		return out, nil
 	}
-	scq, _, err := v.Struct.SCqCtx(ctx, q, opt.Delta, opt.Concurrency)
+	parent := obs.SpanFrom(ctx)
+	sp := parent.Child("struct_filter")
+	scq, _, err := v.Struct.SCqCtx(obs.ContextWithSpan(ctx, sp), q, opt.Delta, opt.Concurrency)
+	sp.EndCount(int64(len(scq)))
 	if err != nil {
 		return nil, err
 	}
 	if len(scq) == 0 {
 		return nil, nil
 	}
+	sp = parent.Child("relax")
 	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	sp.EndCount(int64(len(u)))
 	workers := normalizeWorkers(opt.Concurrency, len(scq))
 
 	// Upper bounds order the verification schedule. Each candidate's bound
@@ -93,8 +99,10 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 	}
 	cands := make([]cand, len(scq))
 	if v.PMI != nil {
+		sp = parent.Child("bounds")
 		pr, err := v.newPruner(ctx, u, opt, nil)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
@@ -108,6 +116,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 			}
 			cands[i] = cand{gi, ub}
 		})
+		sp.EndCount(int64(len(scq)))
 		if err != nil {
 			return nil, err
 		}
@@ -228,6 +237,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 			mu.Unlock()
 		}
 	}
+	sp = parent.Child("topk_commit")
 	if workers <= 1 {
 		verifyWorker()
 	} else {
@@ -247,7 +257,9 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 	// keeps the caller-facing contract one-dimensional.
 	mu.Lock()
 	cerr, ferr, ranking := ctxErr, firstErr, top
+	nCommitted := committed
 	mu.Unlock()
+	sp.EndCount(int64(nCommitted))
 	if cerr != nil {
 		return nil, cerr
 	}

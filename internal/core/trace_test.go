@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"probgraph/internal/obs"
+)
+
+// tracedQueryCtx returns a context carrying a fresh trace root plus the
+// trace and root for post-run inspection.
+func tracedQueryCtx() (context.Context, *obs.Trace, obs.Span) {
+	tr := obs.NewTrace()
+	root := tr.Root("query")
+	return obs.ContextWithSpan(context.Background(), root), tr, root
+}
+
+// findChild returns the first direct child with the given name, or nil.
+func findChild(n *obs.SpanNode, name string) *obs.SpanNode {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestQuerySpanTreeMatchesStats runs one traced query and checks that the
+// span tree's stage structure and item counts correspond to the Stats the
+// same query reports: struct_filter carries |SCq| (with per-shard postings
+// spans and the exact-confirmation span underneath), relax carries |U|,
+// and verify covers every structural candidate. This is the acceptance
+// contract — the trace is a faithful account of the pipeline, not a
+// parallel bookkeeping that can drift.
+func TestQuerySpanTreeMatchesStats(t *testing.T) {
+	db, raw := snapDB(t, 12)
+	v := db.View()
+	for qi, q := range snapQueries(t, raw, 4) {
+		opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: int64(3 + qi)}
+		ctx, tr, root := tracedQueryCtx()
+		res, err := v.query(ctx, q, opt.withDefaults(), nil)
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := tr.OpenSpans(); n != 0 {
+			t.Fatalf("query %d: %d spans still open after completion", qi, n)
+		}
+		tree := tr.Tree()
+		if tree.Name != "query" {
+			t.Fatalf("query %d: root span %q, want query", qi, tree.Name)
+		}
+		sf := findChild(tree, "struct_filter")
+		if sf == nil {
+			t.Fatalf("query %d: no struct_filter span in %+v", qi, tree)
+		}
+		if int(sf.Count) != res.Stats.StructConfirmed {
+			t.Errorf("query %d: struct_filter count %d != StructConfirmed %d",
+				qi, sf.Count, res.Stats.StructConfirmed)
+		}
+		if findChild(sf, "postings_shard") == nil && res.Stats.StructFilterCandidates > 0 {
+			// The shard spans exist whenever the postings scan ran; a query
+			// whose feature budget admits everything skips the scan.
+			shards, _ := v.Struct.PostingsStats()
+			if shards > 0 {
+				t.Errorf("query %d: struct_filter has no postings_shard child", qi)
+			}
+		}
+		if c := findChild(sf, "confirm"); c == nil {
+			t.Errorf("query %d: struct_filter has no confirm span", qi)
+		} else if int(c.Count) != res.Stats.StructFilterCandidates {
+			t.Errorf("query %d: confirm count %d != StructFilterCandidates %d",
+				qi, c.Count, res.Stats.StructFilterCandidates)
+		}
+		rx := findChild(tree, "relax")
+		if rx == nil || int(rx.Count) != res.Stats.RelaxedQueries {
+			t.Errorf("query %d: relax span %+v, want count %d", qi, rx, res.Stats.RelaxedQueries)
+		}
+		if findChild(tree, "pmi_prune") == nil {
+			t.Errorf("query %d: no pmi_prune span (PMI is built in this fixture)", qi)
+		}
+		vf := findChild(tree, "verify")
+		if vf == nil || int(vf.Count) != res.Stats.StructConfirmed {
+			t.Errorf("query %d: verify span %+v, want count %d", qi, vf, res.Stats.StructConfirmed)
+		}
+		for _, n := range tree.Children {
+			if n.DurationMS < 0 {
+				t.Errorf("query %d: span %s has negative duration", qi, n.Name)
+			}
+		}
+	}
+}
+
+// TestPipelineBridgeMatchesStats attaches an obs.Pipeline to the query
+// context and checks the process counters absorb exactly the per-query
+// Stats — the bridge /metrics depends on.
+func TestPipelineBridgeMatchesStats(t *testing.T) {
+	db, raw := snapDB(t, 12)
+	v := db.View()
+	reg := obs.NewRegistry()
+	p := obs.NewPipeline(reg)
+	ctx := obs.ContextWithPipeline(context.Background(), p)
+
+	var want Stats
+	for qi, q := range snapQueries(t, raw, 3) {
+		res, err := v.query(ctx, q, QueryOptions{Epsilon: 0.4, Delta: 1, Seed: int64(qi)}.withDefaults(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.StructFilterCandidates += res.Stats.StructFilterCandidates
+		want.StructConfirmed += res.Stats.StructConfirmed
+		want.PrunedByUpper += res.Stats.PrunedByUpper
+		want.AcceptedByLower += res.Stats.AcceptedByLower
+		want.VerifyCandidates += res.Stats.VerifyCandidates
+		want.Answers += res.Stats.Answers
+		want.RelaxedQueries += res.Stats.RelaxedQueries
+	}
+	got := map[string]int64{
+		"struct_candidates": p.StructCandidates.Value(),
+		"struct_confirmed":  p.StructConfirmed.Value(),
+		"pruned_upper":      p.PrunedUpper.Value(),
+		"accepted_lower":    p.AcceptedLower.Value(),
+		"verified":          p.Verified.Value(),
+		"answers":           p.Answers.Value(),
+		"relaxed":           p.Relaxed.Value(),
+	}
+	wantM := map[string]int64{
+		"struct_candidates": int64(want.StructFilterCandidates),
+		"struct_confirmed":  int64(want.StructConfirmed),
+		"pruned_upper":      int64(want.PrunedByUpper),
+		"accepted_lower":    int64(want.AcceptedByLower),
+		"verified":          int64(want.VerifyCandidates),
+		"answers":           int64(want.Answers),
+		"relaxed":           int64(want.RelaxedQueries),
+	}
+	if !reflect.DeepEqual(got, wantM) {
+		t.Fatalf("pipeline counters diverge from summed Stats:\n got %v\nwant %v", got, wantM)
+	}
+	if n := p.StageStruct.Count(); n != 3 {
+		t.Fatalf("stage histogram observed %d queries, want 3", n)
+	}
+}
+
+// errAfterCtx cancels itself after its Err method has been consulted
+// limit times. The worker pool checks Err per work item (serial path
+// included), so this produces a deterministic mid-pipeline cancellation
+// at an exact, sweepable point — no timing involved.
+type errAfterCtx struct {
+	context.Context // carries the trace span; Value passes through
+	calls           atomic.Int64
+	limit           int64
+}
+
+func (c *errAfterCtx) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelledQueryClosesSpans sweeps the cancellation point across the
+// whole pipeline and asserts the invariant the slowlog and trace readers
+// rely on: however a query dies, every span it opened is closed by the
+// time it returns.
+func TestCancelledQueryClosesSpans(t *testing.T) {
+	db, raw := snapDB(t, 12)
+	v := db.View()
+	q := snapQueries(t, raw, 1)[0]
+	opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: 5}.withDefaults()
+
+	sawCancel := false
+	for limit := int64(1); limit < 10_000; limit++ {
+		base, tr, root := tracedQueryCtx()
+		ctx := &errAfterCtx{Context: base, limit: limit}
+		_, err := v.query(ctx, q, opt, nil)
+		root.End()
+		if n := tr.OpenSpans(); n != 0 {
+			t.Fatalf("limit %d: %d spans open after query returned (err=%v)", limit, n, err)
+		}
+		if err == nil {
+			// The budget outlasted the whole pipeline; every earlier limit
+			// cancelled somewhere inside it.
+			if !sawCancel {
+				t.Fatal("fixture query consulted ctx.Err() zero times")
+			}
+			return
+		}
+		sawCancel = true
+	}
+	t.Fatal("query never completed within the Err-budget sweep")
+}
+
+// TestTracedEqualsUntraced pins the determinism contract extension:
+// serial ≡ parallel ≡ traced ≡ untraced, bitwise — tracing observes the
+// pipeline, it must never perturb answers, SSP floats, or counters.
+func TestTracedEqualsUntraced(t *testing.T) {
+	db, raw := snapDB(t, 12)
+	v := db.View()
+	for qi, q := range snapQueries(t, raw, 3) {
+		opt := QueryOptions{Epsilon: 0.4, Delta: 1, OptBounds: true, Seed: int64(11 + qi)}
+		want, err := v.query(context.Background(), q, opt.withDefaults(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			o := opt
+			o.Concurrency = workers
+			ctx, _, root := tracedQueryCtx()
+			got, err := v.query(ctx, q, o.withDefaults(), nil)
+			root.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Answers, want.Answers) || !reflect.DeepEqual(got.SSP, want.SSP) {
+				t.Fatalf("query %d workers=%d: traced result diverges from untraced", qi, workers)
+			}
+			if got.Stats.PrunedByUpper != want.Stats.PrunedByUpper ||
+				got.Stats.VerifyCandidates != want.Stats.VerifyCandidates {
+				t.Fatalf("query %d workers=%d: traced counters diverge", qi, workers)
+			}
+		}
+	}
+}

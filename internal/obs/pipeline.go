@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// PipelineStats is the per-query stage payload the engine reports at
+// query exit — a decoupled mirror of core.Stats, so core can bridge its
+// instrumentation into the registry without obs importing core.
+type PipelineStats struct {
+	StructFilterCandidates int
+	StructConfirmed        int
+	PrunedByUpper          int
+	AcceptedByLower        int
+	VerifyCandidates       int
+	Answers                int
+	RelaxedQueries         int
+
+	TimeStruct time.Duration
+	TimeProb   time.Duration
+	TimeVerify time.Duration
+}
+
+// Pipeline aggregates query-pipeline counters across all queries served
+// by one process: candidate flow through the filter → prune → verify
+// funnel, and per-stage compute histograms. The server attaches it to
+// each request context (ContextWithPipeline); core's query exit observes
+// into it — one bridge, so /metrics and per-query stats can't diverge.
+type Pipeline struct {
+	StructCandidates *Counter
+	StructConfirmed  *Counter
+	PrunedUpper      *Counter
+	AcceptedLower    *Counter
+	Verified         *Counter
+	Answers          *Counter
+	Relaxed          *Counter
+
+	StageStruct *Histogram
+	StageProb   *Histogram
+	StageVerify *Histogram
+}
+
+// NewPipeline registers the pipeline families on r.
+func NewPipeline(r *Registry) *Pipeline {
+	return &Pipeline{
+		StructCandidates: r.Counter("pg_struct_filter_candidates_total",
+			"Candidates emitted by the structural feature-miss filter, before exact confirmation."),
+		StructConfirmed: r.Counter("pg_struct_confirmed_total",
+			"Structural candidates confirmed by exact subgraph-distance check (|SCq|)."),
+		PrunedUpper: r.Counter("pg_candidates_pruned_total",
+			"Candidates discarded by the PMI upper bound (Pruning 1).", "rule", "upper"),
+		AcceptedLower: r.Counter("pg_candidates_accepted_total",
+			"Candidates accepted outright by the PMI lower bound (Pruning 2).", "rule", "lower"),
+		Verified: r.Counter("pg_candidates_verified_total",
+			"Candidates sent to SSP verification."),
+		Answers: r.Counter("pg_answers_total",
+			"Answers returned across all queries."),
+		Relaxed: r.Counter("pg_relaxed_queries_total",
+			"Relaxed queries generated (|U|) across all queries."),
+		StageStruct: r.Histogram("pg_stage_duration_seconds",
+			"Per-query compute spent in each pipeline stage.", nil, "stage", "struct"),
+		StageProb: r.Histogram("pg_stage_duration_seconds",
+			"Per-query compute spent in each pipeline stage.", nil, "stage", "prob"),
+		StageVerify: r.Histogram("pg_stage_duration_seconds",
+			"Per-query compute spent in each pipeline stage.", nil, "stage", "verify"),
+	}
+}
+
+// Observe folds one query's stats into the counters. Safe for concurrent
+// use; nil receivers are ignored so call sites need no guard.
+func (p *Pipeline) Observe(s PipelineStats) {
+	if p == nil {
+		return
+	}
+	p.StructCandidates.Add(int64(s.StructFilterCandidates))
+	p.StructConfirmed.Add(int64(s.StructConfirmed))
+	p.PrunedUpper.Add(int64(s.PrunedByUpper))
+	p.AcceptedLower.Add(int64(s.AcceptedByLower))
+	p.Verified.Add(int64(s.VerifyCandidates))
+	p.Answers.Add(int64(s.Answers))
+	p.Relaxed.Add(int64(s.RelaxedQueries))
+	p.StageStruct.Observe(s.TimeStruct.Seconds())
+	p.StageProb.Observe(s.TimeProb.Seconds())
+	p.StageVerify.Observe(s.TimeVerify.Seconds())
+}
+
+type pipelineCtxKey struct{}
+
+// ContextWithPipeline attaches p so the engine's query exit can report
+// stage stats. Attaching nil returns ctx unchanged.
+func ContextWithPipeline(ctx context.Context, p *Pipeline) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, pipelineCtxKey{}, p)
+}
+
+// PipelineFrom returns the attached pipeline, or nil. Never allocates.
+func PipelineFrom(ctx context.Context) *Pipeline {
+	p, _ := ctx.Value(pipelineCtxKey{}).(*Pipeline)
+	return p
+}

@@ -1,0 +1,327 @@
+// Package obs is the engine's zero-dependency observability layer:
+// Prometheus-style metric instruments with text exposition (registry.go),
+// lightweight per-query tracing carried through context.Context (trace.go),
+// the pipeline-stage counter bridge core reports into at query exit
+// (pipeline.go), a bounded slow-query log (slowlog.go), structured-logging
+// setup (log.go), and CPU/heap profile helpers for the CLIs (profile.go).
+//
+// Everything here is stdlib-only by design — the serving layer must stay
+// deployable from a bare `go build` — and every instrument is safe for
+// concurrent use. The tracing side is built around a nil-safe value type
+// (Span): with no trace attached to the context, every call is a no-op on
+// a zero value and the query hot path allocates nothing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds — spanning sub-millisecond cache hits to multi-second scans.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). Instruments are created once at
+// setup time and updated lock-free; WritePrometheus takes the registry
+// lock only to walk the family list.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family groups every series sharing one metric name under a single
+// # HELP / # TYPE header, as the exposition format requires.
+type family struct {
+	name, help, typ string
+	counters        []*Counter
+	gauges          []*Gauge
+	histograms      []*Histogram
+	collect         func(emit func(labels string, value float64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers (or extends) a monotonically increasing counter
+// family. labels are alternating key/value pairs naming this series.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.family(name, help, "counter")
+	c := &Counter{labels: renderLabels(labels)}
+	r.mu.Lock()
+	f.counters = append(f.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers a gauge series that can go up and down.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.family(name, help, "gauge")
+	g := &Gauge{labels: renderLabels(labels)}
+	r.mu.Lock()
+	f.gauges = append(f.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram registers a fixed-bucket histogram series. buckets are upper
+// bounds, ascending; the +Inf bucket is implicit. A nil buckets slice
+// selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	f := r.family(name, help, "histogram")
+	h := &Histogram{labels: renderLabels(labels), bounds: buckets,
+		counts: make([]atomic.Int64, len(buckets)+1)}
+	r.mu.Lock()
+	f.histograms = append(f.histograms, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Collect registers a callback-backed family: fn is invoked at scrape
+// time and emits zero or more samples (labels rendered with Labels, or
+// ""). Use it for values whose source of truth lives elsewhere — cache
+// counters, database shape, runtime stats — so /metrics and any JSON
+// status endpoint reading the same source can never disagree. typ is
+// "counter" or "gauge".
+func (r *Registry) Collect(name, typ, help string, fn func(emit func(labels string, value float64))) {
+	f := r.family(name, help, typ)
+	r.mu.Lock()
+	f.collect = fn
+	r.mu.Unlock()
+}
+
+// Labels renders alternating key/value pairs into the exposition label
+// syntax used by Collect emitters: Labels("op", "add") → `op="add"`.
+func Labels(kv ...string) string { return renderLabels(kv) }
+
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	labels string
+	v      atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can move in both directions.
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets and tracks their sum.
+type Histogram struct {
+	labels  string
+	bounds  []float64
+	counts  []atomic.Int64 // one per bound + the +Inf overflow
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// WritePrometheus renders every family in registration order in the text
+// exposition format. Scrapes racing concurrent updates see a consistent
+// enough snapshot for monitoring: counters are monotone, and histogram
+// bucket counts may trail the sum by in-flight observations.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.counters {
+			writeSample(w, f.name, c.labels, float64(c.Value()))
+		}
+		for _, g := range f.gauges {
+			writeSample(w, f.name, g.labels, g.Value())
+		}
+		for _, h := range f.histograms {
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name+"_bucket", joinLabels(h.labels, `le="`+formatValue(bound)+`"`), float64(cum))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			writeSample(w, f.name+"_bucket", joinLabels(h.labels, `le="+Inf"`), float64(cum))
+			writeSample(w, f.name+"_sum", h.labels, h.Sum())
+			writeSample(w, f.name+"_count", h.labels, float64(cum))
+		}
+		if f.collect != nil {
+			f.collect(func(labels string, value float64) {
+				writeSample(w, f.name, labels, value)
+			})
+		}
+	}
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// RegisterGoRuntime adds the standard Go process families (goroutines,
+// heap, GC) as scrape-time collectors — one runtime.ReadMemStats per
+// scrape, zero steady-state cost.
+func (r *Registry) RegisterGoRuntime() {
+	r.Collect("go_goroutines", "gauge", "Number of goroutines.",
+		func(emit func(string, float64)) { emit("", float64(runtime.NumGoroutine())) })
+	var msMu sync.Mutex
+	var ms runtime.MemStats
+	read := func(f func(*runtime.MemStats) float64) float64 {
+		msMu.Lock()
+		defer msMu.Unlock()
+		runtime.ReadMemStats(&ms)
+		return f(&ms)
+	}
+	r.Collect("go_memstats_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.",
+		func(emit func(string, float64)) {
+			emit("", read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+		})
+	r.Collect("go_memstats_heap_objects", "gauge", "Number of allocated heap objects.",
+		func(emit func(string, float64)) {
+			emit("", read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+		})
+	r.Collect("go_memstats_alloc_bytes_total", "counter", "Cumulative bytes allocated for heap objects.",
+		func(emit func(string, float64)) {
+			emit("", read(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+		})
+	r.Collect("go_gc_cycles_total", "counter", "Completed GC cycles.",
+		func(emit func(string, float64)) {
+			emit("", read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+		})
+	r.Collect("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.",
+		func(emit func(string, float64)) {
+			emit("", read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+		})
+	r.Collect("go_gomaxprocs", "gauge", "GOMAXPROCS.",
+		func(emit func(string, float64)) { emit("", float64(runtime.GOMAXPROCS(0))) })
+}

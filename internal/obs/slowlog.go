@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow-query record served at /debug/slowlog.
+type SlowEntry struct {
+	TraceID    string    `json:"trace_id"`
+	Endpoint   string    `json:"endpoint"`
+	Time       time.Time `json:"time"`
+	DurationMS float64   `json:"duration_ms"`
+	Trace      *SpanNode `json:"trace,omitempty"`
+}
+
+// Slowlog keeps the N slowest queries the process has served, duration
+// descending. Offers below the current floor are rejected in O(1) once
+// the log is full, so the per-request cost of a fast query is one mutex
+// round and a comparison.
+type Slowlog struct {
+	mu      sync.Mutex
+	max     int
+	entries []SlowEntry
+}
+
+// NewSlowlog returns a log keeping the max slowest entries; max <= 0
+// returns nil, and a nil Slowlog ignores every call.
+func NewSlowlog(max int) *Slowlog {
+	if max <= 0 {
+		return nil
+	}
+	return &Slowlog{max: max}
+}
+
+// Admits reports whether an entry of this duration would currently be
+// kept — the cheap pre-check that lets callers skip building the span
+// tree for queries that won't make the log. Inherently racy against
+// concurrent offers; the worst case is one wasted tree build.
+func (sl *Slowlog) Admits(durationMS float64) bool {
+	if sl == nil {
+		return false
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return len(sl.entries) < sl.max || durationMS > sl.entries[len(sl.entries)-1].DurationMS
+}
+
+// Offer inserts e if it ranks among the max slowest seen so far.
+func (sl *Slowlog) Offer(e SlowEntry) {
+	if sl == nil {
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.entries) >= sl.max && e.DurationMS <= sl.entries[len(sl.entries)-1].DurationMS {
+		return
+	}
+	pos := len(sl.entries)
+	for pos > 0 && sl.entries[pos-1].DurationMS < e.DurationMS {
+		pos--
+	}
+	sl.entries = append(sl.entries, SlowEntry{})
+	copy(sl.entries[pos+1:], sl.entries[pos:])
+	sl.entries[pos] = e
+	if len(sl.entries) > sl.max {
+		sl.entries = sl.entries[:sl.max]
+	}
+}
+
+// Snapshot returns the current entries, slowest first.
+func (sl *Slowlog) Snapshot() []SlowEntry {
+	if sl == nil {
+		return []SlowEntry{}
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return append([]SlowEntry(nil), sl.entries...)
+}

@@ -14,6 +14,7 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 )
 
 // Options configures a Server.
@@ -36,6 +37,14 @@ type Options struct {
 	// (add/remove/replace) with the old→new generation transition —
 	// pgserve wires it to one structured log line per mutation.
 	MutationLog func(MutationEvent)
+	// Metrics is the registry /metrics serves and every server metric
+	// registers on. nil creates a private registry — /metrics always
+	// works; pass one to co-register process-level gauges (pgserve adds
+	// its snapshot-load gauge this way).
+	Metrics *obs.Registry
+	// SlowlogSize bounds the /debug/slowlog ring of slowest queries.
+	// 0 selects the default (32); negative disables the slowlog.
+	SlowlogSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,18 +57,25 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflight == 0 {
 		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.SlowlogSize == 0 {
+		o.SlowlogSize = 32
+	}
 	return o
 }
 
 // MutationEvent describes one committed mutation for logging.
 type MutationEvent struct {
-	Op            string // "add", "remove", "replace"
-	Index         int    // slot the mutation targeted (or created)
-	OldGeneration uint64
-	NewGeneration uint64
-	LiveGraphs    int
-	Tombstoned    int
-	Compacted     bool // the mutation triggered auto-compaction
+	Op             string // "add", "remove", "replace"
+	Index          int    // slot the mutation targeted (or created)
+	OldGeneration  uint64
+	NewGeneration  uint64
+	LiveGraphs     int
+	Tombstoned     int
+	Compacted      bool // the mutation triggered auto-compaction
+	CompactedSlots int  // tombstoned slots reclaimed when Compacted
 }
 
 // Server answers T-PS queries over one resident Database. The query path
@@ -79,9 +95,9 @@ type Server struct {
 	sem   chan struct{}
 
 	start    time.Time
-	queries  atomic.Int64
 	inflight atomic.Int64
 	genStats genCounters
+	metrics  *serverMetrics
 	mux      *http.ServeMux
 }
 
@@ -98,20 +114,26 @@ func New(db *core.Database, opt Options) *Server {
 	if opt.MaxInflight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInflight)
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
-	s.mux.HandleFunc("/topk", s.handleTopK)
-	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.metrics = newServerMetrics(s, opt.Metrics, opt.SlowlogSize)
+	s.mux.HandleFunc("/query", s.instrumented("query", s.handleQuery))
+	s.mux.HandleFunc("/query/stream", s.instrumented("stream", s.handleQueryStream))
+	s.mux.HandleFunc("/topk", s.instrumented("topk", s.handleTopK))
+	s.mux.HandleFunc("/batch", s.instrumented("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /graphs", s.handleAddGraph)
 	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleRemoveGraph)
 	s.mux.HandleFunc("PUT /graphs/{id}", s.handleReplaceGraph)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the server renders at /metrics.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // QueryRequest is the /query (and, with K, /topk) payload. The query graph
 // comes either as structured JSON (graph) or in the text codec
@@ -128,6 +150,10 @@ type QueryRequest struct {
 	Workers   int        `json:"workers,omitempty"`
 	K         int        `json:"k,omitempty"`        // /topk only
 	NoCache   bool       `json:"no_cache,omitempty"` // bypass the result cache
+	// Trace inlines the request's span tree in the response (also
+	// enabled by the trace=1 URL knob). Purely observational: answers,
+	// stats, and caching are bitwise-identical with and without it.
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutMS caps this request's evaluation time in milliseconds,
 	// overriding the server's default deadline (0 keeps the default). On
 	// expiry the endpoints answer a structured HTTP 504; /query/stream
@@ -180,6 +206,9 @@ type QueryResponse struct {
 	Generation uint64          `json:"generation"`
 	Cached     bool            `json:"cached"`
 	TimeMS     float64         `json:"time_ms"`
+	// Trace is the request's span tree, present only when requested
+	// (trace=1 or the body's trace field).
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // TopKItemJSON is one /topk ranking entry.
@@ -195,6 +224,7 @@ type TopKResponse struct {
 	Generation uint64         `json:"generation"`
 	Cached     bool           `json:"cached"`
 	TimeMS     float64        `json:"time_ms"`
+	Trace      *obs.SpanNode  `json:"trace,omitempty"`
 }
 
 // BatchRequest is the /batch payload: many queries sharing one option set.
@@ -211,12 +241,14 @@ type BatchRequest struct {
 	Workers    int         `json:"workers,omitempty"`
 	NoCache    bool        `json:"no_cache,omitempty"`
 	TimeoutMS  int64       `json:"timeout_ms,omitempty"` // per-request deadline override
+	Trace      bool        `json:"trace,omitempty"`      // inline the batch's span tree
 }
 
 // BatchResponse is the /batch reply, results in input order.
 type BatchResponse struct {
 	Results []*QueryResponse `json:"results"`
 	TimeMS  float64          `json:"time_ms"`
+	Trace   *obs.SpanNode    `json:"trace,omitempty"`
 }
 
 // AddGraphRequest is the POST /graphs ingestion (and PUT /graphs/{id}
@@ -232,12 +264,13 @@ type AddGraphRequest struct {
 // counts. Compacted marks mutations whose tombstone count crossed the
 // auto-compaction threshold — graph indices were renumbered.
 type MutationResponse struct {
-	Op         string `json:"op"`
-	Index      int    `json:"index"`
-	Generation uint64 `json:"generation"`
-	Graphs     int    `json:"graphs"` // live graphs
-	Tombstoned int    `json:"tombstoned"`
-	Compacted  bool   `json:"compacted,omitempty"`
+	Op             string `json:"op"`
+	Index          int    `json:"index"`
+	Generation     uint64 `json:"generation"`
+	Graphs         int    `json:"graphs"` // live graphs
+	Tombstoned     int    `json:"tombstoned"`
+	Compacted      bool   `json:"compacted,omitempty"`
+	CompactedSlots int    `json:"compacted_slots,omitempty"`
 }
 
 // GenCacheJSON is one generation's result-cache hit/miss counters.
@@ -543,11 +576,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// resolution all use this one immutable view. A mutation committing
 	// mid-query neither blocks this request nor leaks into its result.
 	v := s.db.View()
-	s.queries.Add(1)
+	s.metrics.queries["query"].Inc()
 	key := cacheKey("query", v.Generation, graph.CanonicalCode(q), opt, 0)
+	wantTrace := traceWanted(r, req.Trace)
 	if !req.NoCache {
 		if cached, ok := s.cacheGet(v.Generation, key); ok {
-			writeJSON(w, queryResponse(v, cached.(*core.Result), true, time.Since(start)))
+			resp := queryResponse(v, cached.(*core.Result), true, time.Since(start))
+			if wantTrace {
+				resp.Trace = traceTree(r)
+			}
+			writeJSON(w, resp)
 			return
 		}
 	}
@@ -564,7 +602,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !req.NoCache {
 		s.cache.Put(key, res)
 	}
-	writeJSON(w, queryResponse(v, res, false, time.Since(start)))
+	resp := queryResponse(v, res, false, time.Since(start))
+	if wantTrace {
+		resp.Trace = traceTree(r)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -595,8 +637,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 
 	v := s.db.View()
-	s.queries.Add(1)
+	s.metrics.queries["topk"].Inc()
 	key := cacheKey("topk", v.Generation, graph.CanonicalCode(q), opt, req.K)
+	wantTrace := traceWanted(r, req.Trace)
 
 	build := func(items []core.TopKItem, cached bool) TopKResponse {
 		out := TopKResponse{Items: []TopKItemJSON{}, Generation: v.Generation, Cached: cached,
@@ -605,6 +648,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			out.Items = append(out.Items, TopKItemJSON{
 				Graph: it.Graph, Name: v.Graphs[it.Graph].G.Name(), SSP: it.SSP,
 			})
+		}
+		if wantTrace {
+			out.Trace = traceTree(r)
 		}
 		return out
 	}
@@ -679,7 +725,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// batch (QueryBatch derives seeds by position, so partial evaluation
 	// would change seeds).
 	v := s.db.View()
-	s.queries.Add(int64(len(qs)))
+	s.metrics.queries["batch"].Add(int64(len(qs)))
 	keys := make([]string, len(qs))
 	for i, q := range qs {
 		mo := opt
@@ -713,6 +759,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				for _, res := range cached {
 					out.Results = append(out.Results, queryResponse(v, res, true, 0))
 				}
+				if traceWanted(r, req.Trace) {
+					out.Trace = traceTree(r)
+				}
 				writeJSON(w, out)
 				return
 			}
@@ -732,6 +781,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Results = append(out.Results, queryResponse(v, res, false, 0))
 	}
+	if traceWanted(r, req.Trace) {
+		out.Trace = traceTree(r)
+	}
 	writeJSON(w, out)
 }
 
@@ -741,19 +793,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // compaction marker — and fires the mutation log hook.
 func (s *Server) mutationResponse(op string, m core.Mutation) MutationResponse {
 	resp := MutationResponse{
-		Op:         op,
-		Index:      m.Index,
-		Generation: m.NewGeneration,
-		Graphs:     m.LiveGraphs,
-		Tombstoned: m.Tombstoned,
-		Compacted:  m.Compacted,
+		Op:             op,
+		Index:          m.Index,
+		Generation:     m.NewGeneration,
+		Graphs:         m.LiveGraphs,
+		Tombstoned:     m.Tombstoned,
+		Compacted:      m.Compacted,
+		CompactedSlots: m.CompactedSlots,
+	}
+	s.metrics.mutations[op].Inc()
+	if m.Compacted {
+		s.metrics.compact.Inc()
 	}
 	if s.opt.MutationLog != nil {
 		s.opt.MutationLog(MutationEvent{
 			Op: op, Index: m.Index,
 			OldGeneration: m.OldGeneration, NewGeneration: m.NewGeneration,
 			LiveGraphs: m.LiveGraphs, Tombstoned: m.Tombstoned,
-			Compacted: m.Compacted,
+			Compacted: m.Compacted, CompactedSlots: m.CompactedSlots,
 		})
 	}
 	return resp
@@ -845,7 +902,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Generation:       v.Generation,
 		IndexBytes:       v.Build.IndexSizeBytes,
 		UptimeMS:         float64(time.Since(s.start).Microseconds()) / 1000,
-		Queries:          s.queries.Load(),
+		Queries:          s.metrics.totalQueries(),
 		Inflight:         s.inflight.Load(),
 		CacheHits:        hits,
 		CacheMisses:      misses,

@@ -176,7 +176,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// ever blocking the evaluator, so the slot hold is bounded by the
 	// evaluation itself (which ctx bounds), never by the client.
 	v := s.db.View()
-	s.queries.Add(1)
+	s.metrics.queries["stream"].Inc()
 	release := s.acquire()
 	queue := newStreamQueue()
 	go func() {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/pool"
 )
 
@@ -232,8 +233,11 @@ func (ix *Index) CandidatesCtx(ctx context.Context, q *graph.Graph, delta, worke
 		return out, nil
 	}
 	outs := make([][]int, len(ix.shards))
+	parent := obs.SpanFrom(ctx)
 	err := pool.ForEachIndexCtx(ctx, len(ix.shards), pool.Normalize(workers, len(ix.shards)), func(si int) {
+		sp := parent.Child("postings_shard")
 		outs[si] = ix.shards[si].scan(cq, need, ix.dead)
+		sp.EndCount(int64(len(outs[si])))
 	})
 	if err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ import (
 	"probgraph/internal/graph"
 	"probgraph/internal/iso"
 	"probgraph/internal/mcs"
+	"probgraph/internal/obs"
 	"probgraph/internal/pool"
 )
 
@@ -483,9 +484,11 @@ func (ix *Index) SCqCtx(ctx context.Context, q *graph.Graph, delta, workers int)
 		return nil, 0, err
 	}
 	ok := make([]bool, len(cand))
+	sp := obs.SpanFrom(ctx).Child("confirm")
 	err = pool.ForEachIndexCtx(ctx, len(cand), pool.Normalize(workers, len(cand)), func(i int) {
 		ok[i] = ix.Confirm(q, cand[i], delta)
 	})
+	sp.EndCount(int64(len(cand)))
 	if err != nil {
 		return nil, 0, err
 	}
