@@ -47,7 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -75,33 +75,71 @@ type figureJSON struct {
 	WallMS  float64      `json:"wall_ms"`
 }
 
+// main is a thin shell around run: os.Exit skips defers, so every defer
+// (profile flushing above all) lives inside run, which only ever returns.
 func main() {
-	scale := flag.String("scale", "small", "experiment scale: tiny, small, full")
-	fig := flag.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter/churn/perf (extra, never implied by all)")
-	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write machine-readable per-figure series to this file")
-	churnRates := flag.String("churn", "0,20,100",
-		"comma-separated background mutation rates (mutations/s) for -fig churn")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering index build + figures to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
-	baseline := flag.String("baseline", "", "compare this run's p50/p99 columns against a previous -json export; regressions beyond the tolerance exit 4")
-	baselineTol := flag.Float64("baseline-tolerance", 0.15,
-		"allowed fractional p50/p99 regression vs -baseline (0.15 = 15%)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	stopCPU, err := obs.StartCPUProfile(*cpuprofile)
+// run executes pgbench and returns its exit code: 0 success, 1 runtime
+// error, 2 flag/validation error, 4 baseline latency regression. The
+// single deferred Flush makes profile output exit-safe on every path,
+// the regression gate included.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("pgbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "small", "experiment scale: tiny, small, full")
+	fig := fs.String("fig", "all", "figure to run: all (= every paper figure), 9a, 9b, 10, 11, 12, 13, 14, or scaling/filter/churn/perf (extra, never implied by all)")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "candidate-evaluation worker pool size (<0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write machine-readable per-figure series to this file")
+	churnRates := fs.String("churn", "0,20,100",
+		"comma-separated background mutation rates (mutations/s) for -fig churn")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering index build + figures to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+	baseline := fs.String("baseline", "", "compare this run's p50/p99 columns against a previous -json export; regressions beyond the tolerance exit 4")
+	baselineTol := fs.Float64("baseline-tolerance", 0.15,
+		"allowed fractional p50/p99 regression vs -baseline (0.15 = 15%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	profiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "pgbench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := profiles.Flush(); err != nil {
+			fmt.Fprintf(stderr, "pgbench: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	// Knob validation after profile start, so even a rejected invocation
+	// leaves well-formed (if tiny) profile files behind.
+	if *baselineTol < 0 {
+		fmt.Fprintf(stderr, "pgbench: -baseline-tolerance must be >= 0, got %v\n", *baselineTol)
+		return 2
+	}
+	var churn []float64
+	if strings.EqualFold(*fig, "churn") {
+		if churn, err = parseRates(*churnRates); err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 2
+		}
 	}
 
 	start := time.Now()
-	fmt.Printf("pgbench: scale=%s fig=%s seed=%d workers=%d\n", *scale, *fig, *seed, *workers)
+	fmt.Fprintf(stdout, "pgbench: scale=%s fig=%s seed=%d workers=%d\n", *scale, *fig, *seed, *workers)
 	env, err := experiments.NewEnv(experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "pgbench: %v\n", err)
+		return 1
 	}
-	fmt.Printf("database: %d graphs, %d PMI features, index built in %v\n\n",
+	fmt.Fprintf(stdout, "database: %d graphs, %d PMI features, index built in %v\n\n",
 		env.DB.Len(), env.DB.Build().Features,
 		env.DB.Build().FeatureTime+env.DB.Build().PMITime+env.DB.Build().StructTime)
 
@@ -110,20 +148,21 @@ func main() {
 		return *fig == "all" || strings.EqualFold(*fig, name) ||
 			(len(name) > 2 && strings.EqualFold(*fig, name[:2]))
 	}
-	// run executes one figure, renders its tables, and records them with
-	// the figure's wall time split evenly across its tables.
-	run := func(name string, f func() ([]*stats.Table, error)) {
+	// runFig executes one figure, renders its tables, and records them
+	// with the figure's wall time split evenly across its tables.
+	runFig := func(name string, f func() ([]*stats.Table, error)) error {
 		t0 := time.Now()
 		tables, err := f()
 		wall := float64(time.Since(t0).Microseconds()) / 1000
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, t := range tables {
-			t.Render(os.Stdout)
-			fmt.Println()
+			t.Render(stdout)
+			fmt.Fprintln(stdout)
 			figures = append(figures, tableJSON(name, t, wall/float64(len(tables))))
 		}
+		return nil
 	}
 	one := func(f func() (*stats.Table, error)) func() ([]*stats.Table, error) {
 		return func() ([]*stats.Table, error) {
@@ -144,49 +183,42 @@ func main() {
 		}
 	}
 
-	if want("9a") {
-		run("9a", one(env.Fig9a))
+	type figureRun struct {
+		name string
+		on   bool
+		f    func() ([]*stats.Table, error)
 	}
-	if want("9b") {
-		run("9b", one(env.Fig9b))
-	}
-	if want("10") {
-		run("10", two(env.Fig10))
-	}
-	if want("11") {
-		run("11", two(env.Fig11))
-	}
-	if want("12") {
-		run("12", env.Fig12)
-	}
-	if want("13") {
-		run("13", one(env.Fig13))
-	}
-	if want("14") {
-		run("14", one(env.Fig14))
-	}
-	if strings.EqualFold(*fig, "scaling") {
-		run("scaling", one(func() (*stats.Table, error) { return env.Scaling(nil) }))
-	}
-	if strings.EqualFold(*fig, "filter") {
-		run("filter", one(func() (*stats.Table, error) { return env.Filter(nil) }))
-	}
-	if strings.EqualFold(*fig, "churn") {
-		rates, err := parseRates(*churnRates)
-		if err != nil {
-			log.Fatal(err)
+	for _, fr := range []figureRun{
+		{"9a", want("9a"), one(env.Fig9a)},
+		{"9b", want("9b"), one(env.Fig9b)},
+		{"10", want("10"), two(env.Fig10)},
+		{"11", want("11"), two(env.Fig11)},
+		{"12", want("12"), env.Fig12},
+		{"13", want("13"), one(env.Fig13)},
+		{"14", want("14"), one(env.Fig14)},
+		{"scaling", strings.EqualFold(*fig, "scaling"),
+			one(func() (*stats.Table, error) { return env.Scaling(nil) })},
+		{"filter", strings.EqualFold(*fig, "filter"),
+			one(func() (*stats.Table, error) { return env.Filter(nil) })},
+		{"churn", strings.EqualFold(*fig, "churn"),
+			one(func() (*stats.Table, error) { return env.Churn(churn) })},
+		{"perf", strings.EqualFold(*fig, "perf"), one(env.Perf)},
+	} {
+		if !fr.on {
+			continue
 		}
-		run("churn", one(func() (*stats.Table, error) { return env.Churn(rates) }))
-	}
-	if strings.EqualFold(*fig, "perf") {
-		run("perf", one(env.Perf))
+		if err := runFig(fr.name, fr.f); err != nil {
+			fmt.Fprintf(stderr, "pgbench: %v\n", err)
+			return 1
+		}
 	}
 
-	// Profiles cover build + figures and are flushed here, before the
-	// baseline gate — its os.Exit(4) must not lose them.
-	stopCPU()
-	if err := obs.WriteHeapProfile(*memprofile); err != nil {
-		log.Fatal(err)
+	// Profiles cover build + figures: flush here so the JSON export and
+	// baseline comparison stay out of the measurement. The deferred Flush
+	// is idempotent, so this early call costs the later one nothing.
+	if err := profiles.Flush(); err != nil {
+		fmt.Fprintf(stderr, "pgbench: %v\n", err)
+		return 1
 	}
 
 	if *jsonPath != "" {
@@ -199,38 +231,40 @@ func main() {
 		}{*scale, *seed, *workers, float64(time.Since(start).Microseconds()) / 1000, figures}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "pgbench: %v\n", err)
+			return 1
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
+			f.Close()
+			fmt.Fprintf(stderr, "pgbench: %v\n", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "pgbench: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote %d figure series to %s\n", len(figures), *jsonPath)
+		fmt.Fprintf(stdout, "wrote %d figure series to %s\n", len(figures), *jsonPath)
 	}
 	if *baseline != "" {
-		if *baselineTol < 0 {
-			fmt.Fprintf(os.Stderr, "pgbench: -baseline-tolerance must be >= 0, got %v\n", *baselineTol)
-			os.Exit(2)
-		}
 		regressions, err := compareBaseline(*baseline, figures, *baselineTol)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
 		}
 		if len(regressions) > 0 {
-			fmt.Fprintf(os.Stderr, "pgbench: %d latency regression(s) beyond %.0f%% vs %s:\n",
+			fmt.Fprintf(stderr, "pgbench: %d latency regression(s) beyond %.0f%% vs %s:\n",
 				len(regressions), *baselineTol*100, *baseline)
 			for _, r := range regressions {
-				fmt.Fprintf(os.Stderr, "  %s\n", r)
+				fmt.Fprintf(stderr, "  %s\n", r)
 			}
-			os.Exit(4)
+			return 4
 		}
-		fmt.Printf("baseline check passed: within %.0f%% of %s\n", *baselineTol*100, *baseline)
+		fmt.Fprintf(stdout, "baseline check passed: within %.0f%% of %s\n", *baselineTol*100, *baseline)
 	}
-	fmt.Printf("pgbench done in %v\n", time.Since(start))
+	fmt.Fprintf(stdout, "pgbench done in %v\n", time.Since(start))
+	return 0
 }
 
 // compareBaseline checks this run's latency columns against a previous

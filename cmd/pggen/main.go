@@ -28,9 +28,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"os"
 
@@ -38,110 +39,121 @@ import (
 	"probgraph/internal/obs"
 )
 
+// main is a thin shell around run: os.Exit skips defers, so every defer
+// (profile flushing above all) lives inside run, which only ever returns.
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	n := flag.Int("n", 120, "number of graphs")
-	organisms := flag.Int("organisms", 6, "number of organism families")
-	minV := flag.Int("minv", 10, "minimum vertices per graph")
-	maxV := flag.Int("maxv", 16, "maximum vertices per graph")
-	edgeFactor := flag.Float64("edgefactor", 1.5, "edges ≈ factor × vertices")
-	labels := flag.Int("labels", 8, "vertex label alphabet size")
-	meanProb := flag.Float64("meanprob", 0.383, "mean edge existence probability")
-	maxGroup := flag.Int("maxgroup", 3, "neighbor-edge-set size cap")
-	mutations := flag.Float64("mutations", 0.25, "per-graph edge rewiring rate")
-	independent := flag.Bool("independent", false, "independent-edge model (IND) instead of correlated (COR)")
-	seed := flag.Int64("seed", 1, "random seed")
-	saveSnap := flag.String("savesnap", "", "also build the full index and write a snapshot to this file")
-	format := flag.String("format", "text", "snapshot format for -savesnap: text (v3) or binary (v4, mmap-able)")
-	queryMode := flag.Bool("query", false, "write a query graph instead of a database")
-	from := flag.String("from", "", "query mode: extract from this database file (default: generate)")
-	qsize := flag.Int("qsize", 6, "query mode: query size (edges)")
-	qfrom := flag.Int("qfrom", 0, "query mode: index of the source graph")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (generation + -savesnap index build) to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
 
-	stopCPU, err := obs.StartCPUProfile(*cpuprofile)
-	if err != nil {
-		log.Fatal(err)
+// run executes pggen and returns its exit code: 0 success, 1 runtime
+// error, 2 flag/validation error. Profiles are flushed on every path —
+// including validation rejections — by the single deferred Flush.
+func run(args []string, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("pggen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	n := fs.Int("n", 120, "number of graphs")
+	organisms := fs.Int("organisms", 6, "number of organism families")
+	minV := fs.Int("minv", 10, "minimum vertices per graph")
+	maxV := fs.Int("maxv", 16, "maximum vertices per graph")
+	edgeFactor := fs.Float64("edgefactor", 1.5, "edges ≈ factor × vertices")
+	labels := fs.Int("labels", 8, "vertex label alphabet size")
+	meanProb := fs.Float64("meanprob", 0.383, "mean edge existence probability")
+	maxGroup := fs.Int("maxgroup", 3, "neighbor-edge-set size cap")
+	mutations := fs.Float64("mutations", 0.25, "per-graph edge rewiring rate")
+	independent := fs.Bool("independent", false, "independent-edge model (IND) instead of correlated (COR)")
+	seed := fs.Int64("seed", 1, "random seed")
+	saveSnap := fs.String("savesnap", "", "also build the full index and write a snapshot to this file")
+	format := fs.String("format", "text", "snapshot format for -savesnap: text (v3) or binary (v4, mmap-able)")
+	queryMode := fs.Bool("query", false, "write a query graph instead of a database")
+	from := fs.String("from", "", "query mode: extract from this database file (default: generate)")
+	qsize := fs.Int("qsize", 6, "query mode: query size (edges)")
+	qfrom := fs.Int("qfrom", 0, "query mode: index of the source graph")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (generation + -savesnap index build) to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	defer stopCPU()
+
+	profiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pggen: %v\n", err)
+		return 1
+	}
 	defer func() {
-		if err := obs.WriteHeapProfile(*memprofile); err != nil {
-			log.Fatal(err)
+		if err := profiles.Flush(); err != nil {
+			fmt.Fprintf(stderr, "pggen: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
 	// One-line rejections for out-of-range knobs, before any generation
 	// work: probabilities must be valid, sizes positive.
 	if *meanProb <= 0 || *meanProb > 1 {
-		fmt.Fprintf(os.Stderr, "pggen: -meanprob must be in (0,1], got %v\n", *meanProb)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pggen: -meanprob must be in (0,1], got %v\n", *meanProb)
+		return 2
 	}
 	if *mutations < 0 || *mutations > 1 {
-		fmt.Fprintf(os.Stderr, "pggen: -mutations must be in [0,1], got %v\n", *mutations)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pggen: -mutations must be in [0,1], got %v\n", *mutations)
+		return 2
 	}
 	if *n < 1 {
-		fmt.Fprintf(os.Stderr, "pggen: -n must be >= 1, got %d\n", *n)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pggen: -n must be >= 1, got %d\n", *n)
+		return 2
 	}
 	if *qsize < 1 {
-		fmt.Fprintf(os.Stderr, "pggen: -qsize must be >= 1, got %d\n", *qsize)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pggen: -qsize must be >= 1, got %d\n", *qsize)
+		return 2
 	}
 
-	if *queryMode {
-		writeQuery(*from, *out, *qsize, *qfrom, *seed, probgraph.DatasetOptions{
-			NumGraphs: *n, Organisms: *organisms,
-			MinVertices: *minV, MaxVertices: *maxV, EdgeFactor: *edgeFactor,
-			Labels: *labels, MeanProb: *meanProb, MaxGroup: *maxGroup,
-			Mutations: *mutations, Correlated: !*independent, Seed: *seed,
-		})
-		return
-	}
-
-	db, err := probgraph.GeneratePPI(probgraph.DatasetOptions{
+	opt := probgraph.DatasetOptions{
 		NumGraphs: *n, Organisms: *organisms,
 		MinVertices: *minV, MaxVertices: *maxV, EdgeFactor: *edgeFactor,
 		Labels: *labels, MeanProb: *meanProb, MaxGroup: *maxGroup,
 		Mutations: *mutations, Correlated: !*independent, Seed: *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+	if *queryMode {
+		if err := writeQuery(stderr, *from, *out, *qsize, *qfrom, *seed, opt); err != nil {
+			fmt.Fprintf(stderr, "pggen: %v\n", err)
+			return 1
 		}
-		defer f.Close()
-		w = f
+		return 0
 	}
-	if err := probgraph.SaveDataset(w, db); err != nil {
-		log.Fatal(err)
+
+	db, err := probgraph.GeneratePPI(opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "pggen: %v\n", err)
+		return 1
+	}
+
+	if err := writeDataset(*out, db); err != nil {
+		fmt.Fprintf(stderr, "pggen: %v\n", err)
+		return 1
 	}
 
 	if *saveSnap != "" {
 		sf, err := probgraph.ParseSnapshotFormat(*format)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pggen: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pggen: %v\n", err)
+			return 2
 		}
 		idxDB, err := probgraph.NewDatabase(db.Graphs, probgraph.DefaultBuildOptions())
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "pggen: %v\n", err)
+			return 1
 		}
 		if err := idxDB.SaveFile(*saveSnap, sf); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "pggen: %v\n", err)
+			return 1
 		}
 		feats := 0
 		if idxDB.PMI() != nil {
 			feats = idxDB.PMI().NumFeatures()
 		}
-		fmt.Fprintf(os.Stderr, "pggen: wrote snapshot (%d PMI features) to %s\n", feats, *saveSnap)
+		fmt.Fprintf(stderr, "pggen: wrote snapshot (%d PMI features) to %s\n", feats, *saveSnap)
 	}
 
 	totalV, totalE := 0, 0
@@ -149,34 +161,49 @@ func main() {
 		totalV += pg.G.NumVertices()
 		totalE += pg.G.NumEdges()
 	}
-	fmt.Fprintf(os.Stderr, "pggen: wrote %d graphs (avg %.1f vertices, %.1f edges) to %s\n",
+	fmt.Fprintf(stderr, "pggen: wrote %d graphs (avg %.1f vertices, %.1f edges) to %s\n",
 		len(db.Graphs), float64(totalV)/float64(len(db.Graphs)),
 		float64(totalE)/float64(len(db.Graphs)), orStdout(*out))
+	return 0
+}
+
+// writeDataset saves db to path, or stdout when path is empty.
+func writeDataset(path string, db *probgraph.Dataset) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return probgraph.SaveDataset(w, db)
 }
 
 // writeQuery extracts one connected query graph and writes it in the text
 // codec pgsearch -qfile and the pgserve graph_text payload accept.
-func writeQuery(from, out string, qsize, qfrom int, seed int64, genOpt probgraph.DatasetOptions) {
+func writeQuery(stderr io.Writer, from, out string, qsize, qfrom int, seed int64, genOpt probgraph.DatasetOptions) error {
 	var db *probgraph.Dataset
 	if from != "" {
 		f, err := os.Open(from)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		db, err = probgraph.LoadDataset(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		var err error
 		db, err = probgraph.GeneratePPI(genOpt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if len(db.Graphs) == 0 {
-		log.Fatal("pggen: empty database")
+		return errors.New("empty database")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	src := db.Graphs[qfrom%len(db.Graphs)].G
@@ -186,16 +213,17 @@ func writeQuery(from, out string, qsize, qfrom int, seed int64, genOpt probgraph
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := probgraph.SaveGraph(w, q); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "pggen: wrote query %s (%d vertices, %d edges) to %s\n",
+	fmt.Fprintf(stderr, "pggen: wrote query %s (%d vertices, %d edges) to %s\n",
 		q.Name(), q.NumVertices(), q.NumEdges(), orStdout(out))
+	return nil
 }
 
 func orStdout(path string) string {

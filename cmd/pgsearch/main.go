@@ -72,6 +72,7 @@ func tracedCtx(ctx context.Context, enabled bool, label string) (context.Context
 	}
 	tr := obs.NewTrace()
 	root := tr.Root(label)
+	//pgvet:spanok ownership transfers to the returned done closure, which ends root
 	return obs.ContextWithSpan(ctx, root), func() {
 		root.End()
 		enc := json.NewEncoder(os.Stderr)

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces access-mode consistency for sync/atomic: once any
+// code touches a struct field through an atomic.* function, every other
+// access to that field — in any package — must be atomic too. A single
+// plain read racing an atomic write is still a data race; it just hides
+// from casual review because "most" accesses look disciplined. The
+// generation counters and the obs registry's live-span gauge are the
+// fields this protects here.
+//
+// The pass runs in two sweeps over the whole loaded program: the first
+// collects facts — fields passed by address to a sync/atomic function —
+// keyed by (package, type, field) so facts survive the source-vs-export
+// object-identity split; the second flags every selector reaching one of
+// those fields outside an atomic call. Intentional exceptions (a plain
+// read inside a lock-held section, a constructor before publication) are
+// annotated //pgvet:nonatomic <why>.
+//
+// Fields of the typed atomic.Int64/Uint64/... wrappers need no analysis:
+// their API makes non-atomic access unrepresentable, which is also why
+// they are the preferred fix for any finding from this pass.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic anywhere is never accessed non-atomically elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pkgs []*Package, report func(Diagnostic)) {
+	// Sweep 1: collect atomically-accessed fields and remember the exact
+	// selector nodes that appear inside atomic calls, so sweep 2 can skip
+	// them.
+	facts := map[string]bool{}        // "pkgpath.Type.field" -> accessed atomically somewhere
+	atomicUses := map[ast.Node]bool{} // selector nodes consumed by atomic calls
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					sel := addressedField(arg)
+					if sel == nil {
+						continue
+					}
+					atomicUses[sel] = true
+					if key := fieldKey(pkg, sel); key != "" {
+						facts[key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(facts) == 0 {
+		return
+	}
+
+	// Sweep 2: any other selector reaching a fact field is a finding.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ds := parseDirectives(pkg.Fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicUses[sel] {
+					return true
+				}
+				key := fieldKey(pkg, sel)
+				if key == "" || !facts[key] {
+					return true
+				}
+				pos := pkg.Fset.Position(sel.Pos())
+				fd := enclosingFunc(file, sel.Pos())
+				if ok, unjustified := suppressed(ds, pkg.Fset, fd, pos.Line, "nonatomic"); ok {
+					return true
+				} else if unjustified {
+					report(Diagnostic{Pos: pos, Message: "//pgvet:nonatomic annotation is missing its one-line justification"})
+					return true
+				}
+				report(Diagnostic{Pos: pos, Message: "field " + key +
+					" is accessed via sync/atomic elsewhere; this plain access races with it (use atomic loads/stores, or //pgvet:nonatomic <why>)"})
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports calls to package-level functions of sync/atomic.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedField unwraps &x.f (the shape every pointer-taking atomic.*
+// function is called with) to the field selector.
+func addressedField(arg ast.Expr) *ast.SelectorExpr {
+	ue, ok := arg.(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	sel, _ := ue.X.(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldKey names a struct-field selector as "pkgpath.Type.field", or ""
+// when sel is not a field of a named struct type. String keys rather
+// than types.Object identity: the same field is a different Object when
+// its package is loaded from source versus from export data.
+func fieldKey(pkg *Package, sel *ast.SelectorExpr) string {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || !field.IsField() || field.Pkg() == nil {
+		return ""
+	}
+	named, ok := derefType(s.Recv()).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+}

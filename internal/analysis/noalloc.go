@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc audits functions annotated //pgvet:noalloc — the query hot
+// path's zero-allocation contract, pinned at runtime by
+// testing.AllocsPerRun. The runtime pins only see the branches a test
+// exercises; this pass bans the allocating constructs on every branch:
+//
+//   - any fmt.* call (Sprintf and friends allocate; even Fprintf boxes
+//     its operands);
+//   - string concatenation with +, and string<->[]byte/[]rune
+//     conversions (each copies);
+//   - function literals that capture variables (closure environments are
+//     heap-allocated; non-capturing literals are fine);
+//   - append whose result is not assigned back to the slice appended to
+//     (append into a fresh or foreign variable defeats the caller's
+//     capacity hint and escapes);
+//   - interface boxing: passing or assigning a concrete non-pointer
+//     value where an interface is expected (pointers and interfaces
+//     convert without allocating; everything else may not).
+//
+// make() is deliberately not banned: the hot-path pools grow their
+// scratch with make on the cold path, and AllocsPerRun keeps that
+// honest. Individual lines inside a noalloc function can be excused with
+// //pgvet:allocok <why> (e.g. a cold error path).
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//pgvet:noalloc functions contain no allocating constructs on any branch",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pkgs []*Package, report func(Diagnostic)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ds := parseDirectives(pkg.Fset, file)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, found := ds.onFunc(pkg.Fset, fd, "noalloc"); !found {
+					continue
+				}
+				checkNoAlloc(pkg, ds, fd, report)
+			}
+		}
+	}
+}
+
+type noallocChecker struct {
+	pkg    *Package
+	ds     directives
+	fd     *ast.FuncDecl
+	report func(Diagnostic)
+}
+
+func checkNoAlloc(pkg *Package, ds directives, fd *ast.FuncDecl, report func(Diagnostic)) {
+	c := &noallocChecker{pkg: pkg, ds: ds, fd: fd, report: report}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.FuncLit:
+			c.checkClosure(n)
+		case *ast.AssignStmt:
+			c.checkAppend(n)
+		}
+		return true
+	})
+}
+
+// flag reports a finding at pos unless excused by //pgvet:allocok <why>.
+func (c *noallocChecker) flag(pos token.Pos, msg string) {
+	p := c.pkg.Fset.Position(pos)
+	// allocok is a line-level excuse only — checking the whole function
+	// would let one annotation swallow every finding, defeating noalloc.
+	if d, found := c.ds.at(p.Line, "allocok"); found {
+		if d.arg != "" {
+			return
+		}
+		c.report(Diagnostic{Pos: p, Message: "//pgvet:allocok annotation is missing its one-line justification"})
+		return
+	}
+	c.report(Diagnostic{Pos: p, Message: msg + " in //pgvet:noalloc function " + c.fd.Name.Name})
+}
+
+func (c *noallocChecker) checkCall(call *ast.CallExpr) {
+	// fmt.* — always allocates (boxing at minimum).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := c.pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.flag(call.Pos(), "fmt."+fn.Name()+" call")
+			return
+		}
+	}
+	// string([]byte) / []byte(string) / []rune(string) / string([]rune)
+	// conversions copy.
+	if tv, ok := c.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		atv, ok := c.pkg.Info.Types[call.Args[0]]
+		if !ok || atv.Type == nil {
+			return
+		}
+		src := atv.Type.Underlying()
+		if isStringByteConversion(dst, src) {
+			c.flag(call.Pos(), "string/byte-slice conversion (copies)")
+			return
+		}
+	}
+	// Interface boxing at call boundaries: a concrete non-pointer
+	// argument passed to an interface parameter.
+	c.checkBoxingArgs(call)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func (c *noallocChecker) checkConcat(be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[be]
+	if !ok || tv.Type == nil || !isString(tv.Type.Underlying()) {
+		return
+	}
+	if tv.Value != nil {
+		return // constant-folded at compile time; no runtime allocation
+	}
+	c.flag(be.Pos(), "string concatenation")
+}
+
+// checkClosure flags function literals that capture outer variables.
+// A literal referencing only its own parameters and locals compiles to a
+// plain function value and is allowed.
+func (c *noallocChecker) checkClosure(lit *ast.FuncLit) {
+	declared := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pkg.Info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	var captured types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pkg.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || declared[obj] || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captured; only function-scoped ones.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if c.fd.Pos() <= v.Pos() && v.Pos() < lit.Pos() {
+			captured = obj
+		}
+		return true
+	})
+	if captured != nil {
+		c.flag(lit.Pos(), "closure capturing "+captured.Name()+" (heap-allocated environment)")
+	}
+}
+
+// checkAppend flags `dst = append(src, ...)` where dst and src are not
+// the same expression — appending into a different variable defeats
+// amortized growth and makes the result escape its capacity hint. The
+// allowed forms are x = append(x, ...) and x = append(x[:0], ...) (and
+// the same through identical selector chains).
+func (c *noallocChecker) checkAppend(as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if b, ok := c.pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	src := call.Args[0]
+	// Strip a reslice: append(x[:0], ...) re-uses x's backing array.
+	if sl, ok := src.(*ast.SliceExpr); ok {
+		src = sl.X
+	}
+	if sameStorage(c.pkg, as.Lhs[0], src) {
+		return
+	}
+	c.flag(as.Pos(), "append into a different slice than its source (defeats the capacity hint)")
+}
+
+// sameStorage reports whether two expressions name the same variable or
+// the same selector chain off the same base.
+func sameStorage(pkg *Package, a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := identObj(pkg, ae)
+		return ao != nil && ao == identObj(pkg, be)
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ao := pkg.Info.Uses[ae.Sel]
+		bo := pkg.Info.Uses[be.Sel]
+		return ao != nil && ao == bo && sameStorage(pkg, ae.X, be.X)
+	}
+	return false
+}
+
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// checkBoxingArgs flags concrete, non-pointer-shaped values passed where
+// an interface is expected — the conversion heap-allocates the value.
+// Pointers, interfaces, channels, maps, funcs, and unsafe.Pointer are
+// pointer-shaped and box for free.
+func (c *noallocChecker) checkBoxingArgs(call *ast.CallExpr) {
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return // already flagged wholesale
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // x... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := c.pkg.Info.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if atv.IsNil() || pointerShaped(atv.Type) {
+			continue
+		}
+		c.flag(arg.Pos(), "interface boxing of "+atv.Type.String())
+	}
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package atomicmix is the atomicmix golden fixture: one field accessed
+// both ways (a race), one consistently atomic, one with a documented
+// exception.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes access modes on n, keeps m consistent, and reads g under
+// an annotated exception.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+	m  int64
+	g  int64
+}
+
+// Inc is the atomic side of every field.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.m, 1)
+	c.mu.Lock()
+	atomic.AddInt64(&c.g, 1)
+	c.mu.Unlock()
+}
+
+// Read races: a plain load of a field written through sync/atomic.
+func (c *Counter) Read() int64 {
+	return c.n // want "accessed via sync/atomic elsewhere"
+}
+
+// ReadAtomic is the consistent counterpart — clean.
+func (c *Counter) ReadAtomic() int64 {
+	return atomic.LoadInt64(&c.m)
+}
+
+// ReadLocked carries a justified exception for its plain access.
+func (c *Counter) ReadLocked() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//pgvet:nonatomic fixture: mu is held by every writer of g, so this read cannot race
+	return c.g
+}

@@ -1,0 +1,33 @@
+// Package ctxflow is the ctxflow golden fixture: the X / XCtx sibling
+// convention, context laundering, and the annotated detachment escape.
+package ctxflow
+
+import "context"
+
+// Item is a result placeholder.
+type Item struct{}
+
+// QueryCtx is the context-bearing entry point.
+func QueryCtx(ctx context.Context, n int) []Item { return make([]Item, n) }
+
+// Query is the public wrapper shim. It receives no ctx, so it is out of
+// the analyzer's scope by construction — wrappers need no annotation.
+func Query(n int) []Item { return QueryCtx(context.Background(), n) }
+
+// Launder receives a ctx and drops it twice over.
+func Launder(ctx context.Context, n int) []Item {
+	_ = context.Background() // want "discards the caller's context"
+	return Query(n)          // want "call to Query drops this function's context; use QueryCtx"
+}
+
+// Flows passes its ctx on — clean.
+func Flows(ctx context.Context, n int) []Item {
+	return QueryCtx(ctx, n)
+}
+
+// Detached documents a deliberate detachment with a justification.
+func Detached(ctx context.Context, n int) []Item {
+	//pgvet:ctxbg fixture: the flusher must outlive the request that started it
+	bg := context.Background()
+	return QueryCtx(bg, n)
+}

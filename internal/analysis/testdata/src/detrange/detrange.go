@@ -1,0 +1,38 @@
+// Package core is the detrange golden fixture: the package is named
+// after a query-path package so map iteration falls in scope, and it
+// exercises both global and seeded math/rand use.
+package core
+
+import "math/rand"
+
+// Sum ranges a map without a justification — a finding — and again with
+// one — suppressed.
+func Sum(m map[int]int) int {
+	n := 0
+	for _, v := range m { // want "range over map in package core"
+		n += v
+	}
+	for _, v := range m { //pgvet:sorted addition is order-insensitive
+		n += v
+	}
+	return n
+}
+
+// Draw uses the global source — a finding — then a seeded *rand.Rand,
+// which is the sanctioned form.
+func Draw() int {
+	n := rand.Intn(10) // want "global rand source"
+	r := rand.New(rand.NewSource(1))
+	return n + r.Intn(10)
+}
+
+// Unjustified carries an annotation with no why, which is itself a
+// finding: the justification is the point.
+func Unjustified(m map[int]int) int {
+	n := 0
+	//pgvet:sorted
+	for k := range m { // want "missing its one-line justification"
+		n += k
+	}
+	return n
+}

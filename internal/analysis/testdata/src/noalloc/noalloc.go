@@ -1,0 +1,74 @@
+// Package noalloc is the noalloc golden fixture: every banned construct
+// once, the clean hot-path shapes, and the line-level allocok excuse.
+package noalloc
+
+import "fmt"
+
+// sink accepts boxed values.
+type sink interface{ Put(v any) }
+
+// Sprint concentrates the banned constructs.
+//
+//pgvet:noalloc
+func Sprint(x int, s, t string) string {
+	msg := fmt.Sprintf("%d", x) // want "fmt.Sprintf call"
+	u := s + t                  // want "string concatenation"
+	b := []byte(s)              // want "conversion"
+	_ = b
+	return msg + u // want "string concatenation"
+}
+
+// Hot is the sanctioned hot-path shape: reslice re-use and self-append.
+//
+//pgvet:noalloc
+func Hot(dst []int, src []int) []int {
+	dst = dst[:0]
+	for _, v := range src {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Grow appends into a different slice than its source, defeating the
+// caller's capacity hint.
+//
+//pgvet:noalloc
+func Grow(src []int) []int {
+	out := append(src, 1) // want "append into a different slice"
+	return out
+}
+
+// Each builds a closure over sum — a heap-allocated environment.
+//
+//pgvet:noalloc
+func Each(xs []int) int {
+	sum := 0
+	f := func(v int) { sum += v } // want "closure capturing sum"
+	for _, v := range xs {
+		f(v)
+	}
+	return sum
+}
+
+// Box passes a concrete int where an interface is expected; the pointer
+// is pointer-shaped and boxes for free.
+//
+//pgvet:noalloc
+func Box(s sink, v int, p *int) {
+	s.Put(v) // want "interface boxing of int"
+	s.Put(p)
+}
+
+// ColdPath excuses one allocating line with a justification.
+//
+//pgvet:noalloc
+func ColdPath(err error) string {
+	if err != nil {
+		//pgvet:allocok cold error path, never taken per-candidate
+		return fmt.Sprintf("noalloc: %v", err)
+	}
+	return ""
+}
+
+// Unannotated is not under the contract; nothing here is flagged.
+func Unannotated(s, t string) string { return s + t }

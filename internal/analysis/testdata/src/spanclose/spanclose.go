@@ -1,0 +1,92 @@
+// Package spanclose is the spanclose golden fixture. It carries a local
+// stub of the obs span API: the analyzer keys off the Child/Root → Span
+// shape, not the obs import path, exactly so fixtures and future
+// observability packages are covered without configuration.
+package spanclose
+
+import "errors"
+
+// Span mirrors obs.Span: Child opens, End/EndCount close.
+type Span struct{ name string }
+
+// Child opens a child span.
+func (s Span) Child(name string) Span { return Span{name: name} }
+
+// End closes the span.
+func (s Span) End() {}
+
+// EndCount closes the span with a count.
+func (s Span) EndCount(n int64) {}
+
+// Trace mirrors obs.Trace.
+type Trace struct{}
+
+// Root opens the root span.
+func (t *Trace) Root(name string) Span { return Span{name: name} }
+
+var errBoom = errors.New("boom")
+
+// LeakOnError forgets sp on the error return path — the exact bug class
+// the PR 7 sweep fixed.
+func LeakOnError(parent Span, fail bool) error {
+	sp := parent.Child("stage")
+	if fail {
+		return errBoom // want "span sp not closed on this return path"
+	}
+	sp.End()
+	return nil
+}
+
+// ClosedEverywhere closes on both paths — clean.
+func ClosedEverywhere(parent Span, fail bool) error {
+	sp := parent.Child("stage")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.EndCount(1)
+	return nil
+}
+
+// DeferClose closes via defer, covering every later path — clean.
+func DeferClose(parent Span, fail bool) error {
+	sp := parent.Child("stage")
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// Transfer returns sp itself — ownership moves to the caller, clean.
+func Transfer(parent Span) Span {
+	sp := parent.Child("stage")
+	return sp
+}
+
+// Annotated suppresses a known-open return with a justification.
+func Annotated(parent Span, fail bool) error {
+	sp := parent.Child("stage")
+	if fail {
+		//pgvet:spanok fixture: a registry sweep ends the span out of band
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// LeakAtEnd falls off the end of the function with sp still open.
+func LeakAtEnd(parent Span) {
+	sp := parent.Child("stage") // want "span sp not closed before the function ends"
+	_ = sp
+}
+
+// LoopLeak opens a span per iteration and only closes the last one after
+// the loop — each iteration's span must close within the body.
+func LoopLeak(parent Span, n int) {
+	var sp Span
+	for i := 0; i < n; i++ {
+		sp = parent.Child("iter") // want "opened inside a loop is not closed within the loop body"
+	}
+	sp.End()
+}

@@ -74,6 +74,9 @@ func allocFixture(t *testing.T, optBounds bool) (v *View, q *graph.Graph, u []*g
 // AllocsPerRun pins GOMAXPROCS to 1, so this is exactly the workers=1
 // configuration.
 func TestEvalCandidateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin runs in the plain test pass")
+	}
 	for _, optBounds := range []bool{false, true} {
 		t.Run(fmt.Sprintf("optBounds=%v", optBounds), func(t *testing.T) {
 			v, q, u, pr, pruned, opt := allocFixture(t, optBounds)
@@ -101,6 +104,9 @@ func TestEvalCandidateSteadyStateAllocs(t *testing.T) {
 // evaluation too (the small constant measured here is the worker-pool
 // spawn itself, amortized over thousands of candidates).
 func TestEvalCandidateParallelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin runs in the plain test pass")
+	}
 	workers := runtime.GOMAXPROCS(0)
 	for _, optBounds := range []bool{false, true} {
 		t.Run(fmt.Sprintf("optBounds=%v", optBounds), func(t *testing.T) {

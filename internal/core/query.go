@@ -196,6 +196,8 @@ type candOutcome struct {
 // (v, q, u, gi, opt): all randomness is seeded from candSeed, so every
 // caller — the materializing query loop, the top-k scheduler, the stream
 // workers — computes the identical outcome regardless of scheduling.
+//
+//pgvet:noalloc
 func (v *View) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi int, opt QueryOptions) candOutcome {
 	var o candOutcome
 	if pr != nil {

@@ -273,6 +273,8 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 // descending, graph ascending), keeping at most k items. Keys are unique —
 // each graph commits once — so this yields exactly the order a full
 // re-sort would, and with cap(top) > len(top) it never allocates.
+//
+//pgvet:noalloc
 func insertTopK(top []TopKItem, item TopKItem, k int) []TopKItem {
 	pos := len(top)
 	for pos > 0 && (top[pos-1].SSP < item.SSP ||

@@ -28,6 +28,40 @@ func StartCPUProfile(path string) (stop func(), err error) {
 	}, nil
 }
 
+// Profiles bundles a CLI run's optional CPU and heap profile outputs so
+// flushing is one idempotent call. The CLIs both defer Flush (covering
+// every structured return) and call it explicitly before code that must
+// not be measured; only the first call does work, so the two compose.
+// The zero/nil Profiles flushes as a no-op.
+type Profiles struct {
+	mem     string
+	stopCPU func()
+	flushed bool
+}
+
+// StartProfiles begins a CPU profile to cpu and arranges a heap profile
+// to mem at Flush time. Either path may be empty (that output is
+// skipped).
+func StartProfiles(cpu, mem string) (*Profiles, error) {
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		return nil, err
+	}
+	return &Profiles{mem: mem, stopCPU: stop}, nil
+}
+
+// Flush stops the CPU profile and writes the heap profile. Idempotent
+// and nil-safe: callers defer it for safety and may also invoke it
+// early, at the precise point the measured region ends.
+func (p *Profiles) Flush() error {
+	if p == nil || p.flushed {
+		return nil
+	}
+	p.flushed = true
+	p.stopCPU()
+	return WriteHeapProfile(p.mem)
+}
+
 // WriteHeapProfile dumps an allocation profile to path (after a GC, so
 // the numbers reflect live heap, not collection timing). An empty path
 // is a no-op.

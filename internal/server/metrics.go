@@ -75,15 +75,15 @@ func newServerMetrics(s *Server, reg *obs.Registry, slowlogSize int) *serverMetr
 	reg.Collect("pg_cache_generation_hits_total", "counter",
 		"Result-cache hits by database generation (recent generations only).",
 		func(emit func(string, float64)) {
-			for gen, c := range s.genStats.snapshot() {
-				emit(obs.Labels("generation", gen), float64(c.Hits))
+			for _, e := range s.genStats.snapshotSorted() {
+				emit(obs.Labels("generation", e.Gen), float64(e.Hits))
 			}
 		})
 	reg.Collect("pg_cache_generation_misses_total", "counter",
 		"Result-cache misses by database generation (recent generations only).",
 		func(emit func(string, float64)) {
-			for gen, c := range s.genStats.snapshot() {
-				emit(obs.Labels("generation", gen), float64(c.Misses))
+			for _, e := range s.genStats.snapshotSorted() {
+				emit(obs.Labels("generation", e.Gen), float64(e.Misses))
 			}
 		})
 	reg.Collect("pg_db_generation", "gauge",
@@ -138,7 +138,7 @@ func newServerMetrics(s *Server, reg *obs.Registry, slowlogSize int) *serverMetr
 // as "queries", read from the same atomics /metrics renders.
 func (m *serverMetrics) totalQueries() int64 {
 	var n int64
-	for _, c := range m.queries {
+	for _, c := range m.queries { //pgvet:sorted sums every counter; addition is order-insensitive
 		n += c.Value()
 	}
 	return n

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -330,7 +331,7 @@ func (g *genCounters) record(gen uint64, hit bool) {
 		g.m[gen] = c
 		for len(g.m) > maxTrackedGens {
 			oldest := gen
-			for k := range g.m {
+			for k := range g.m { //pgvet:sorted min-find over keys; the result is order-insensitive
 				if k < oldest {
 					oldest = k
 				}
@@ -349,8 +350,34 @@ func (g *genCounters) snapshot() map[string]GenCacheJSON {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	out := make(map[string]GenCacheJSON, len(g.m))
-	for gen, c := range g.m {
+	for gen, c := range g.m { //pgvet:sorted builds a map rendered by encoding/json, which sorts keys
 		out[strconv.FormatUint(gen, 10)] = *c
+	}
+	return out
+}
+
+// genCacheEntry is one generation's counters with its label pre-rendered,
+// ordered for byte-stable /metrics exposition.
+type genCacheEntry struct {
+	Gen string
+	GenCacheJSON
+}
+
+// snapshotSorted returns the tracked per-generation counters in ascending
+// generation order. /metrics renders from this: Prometheus exposition is
+// part of the byte-stable output contract, so emission order cannot
+// depend on map iteration.
+func (g *genCounters) snapshotSorted() []genCacheEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gens := make([]uint64, 0, len(g.m))
+	for gen := range g.m { //pgvet:sorted keys are collected then sorted immediately below
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	out := make([]genCacheEntry, 0, len(gens))
+	for _, gen := range gens {
+		out = append(out, genCacheEntry{Gen: strconv.FormatUint(gen, 10), GenCacheJSON: *g.m[gen]})
 	}
 	return out
 }

@@ -11,6 +11,9 @@ import (
 // candidates makes none at all, and a productive scan pays only the
 // append growth of its result.
 func TestScanSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin runs in the plain test pass")
+	}
 	rng := rand.New(rand.NewSource(9))
 	dbc := randomDB(rng, 40)
 	ix := BuildIndexSharded(dbc, DefaultFeatures(dbc, 64), 8)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package simsearch
+
+// raceEnabled reports a -race build; see race_test.go.
+const raceEnabled = false

@@ -116,6 +116,8 @@ var hitsPool = sync.Pool{New: func() any { return new([]int32) }}
 // scan accumulates per-graph hits over the query profile cq and returns
 // the owned graphs with hits >= need and no tombstone, ascending. need
 // must be >= 1; dead may be nil (no tombstones).
+//
+//pgvet:noalloc
 func (s *shard) scan(cq []int, need int, dead []bool) []int {
 	hp := hitsPool.Get().(*[]int32)
 	hits := *hp

@@ -1,0 +1,8 @@
+//go:build race
+
+package simsearch
+
+// raceEnabled reports a -race build. The detector's instrumentation
+// allocates on its own, so the allocation pins skip themselves under it;
+// the plain `go test ./...` run still enforces them.
+const raceEnabled = true
