@@ -200,6 +200,7 @@ func main() {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//pgvet:leakok the pprof listener is process-lifetime by design; it dies with the process
 		go func() {
 			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
@@ -228,6 +229,7 @@ func main() {
 	}
 
 	errc := make(chan error, 1)
+	//pgvet:leakok lives exactly until ListenAndServe returns; the buffered send can never block
 	go func() { errc <- hs.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr, "cache", *cacheSize, "workers", *workers, "timeout", timeout.String())
 

@@ -1,15 +1,24 @@
 // Command pgvet runs the project-invariant static-analysis suite over
 // the given package patterns (default ./...) and prints one
-// file:line:col diagnostic per finding. Exit status: 0 clean, 1 when
-// findings exist, 2 when loading or type-checking fails. See
-// internal/analysis for what each pass enforces and the //pgvet:
-// annotation escape hatches.
+// file:line:col diagnostic per finding (or, with -json, a JSON array of
+// findings for tooling). Paths are shown relative to the working
+// directory when they fall under it. Exit status: 0 clean, 1 when
+// findings exist, 2 when loading or type-checking fails. A timing line
+// on stderr reports packages analyzed and wall time; repeat runs over an
+// unchanged tree reuse cached `go list` metadata (PGVET_NOCACHE=1
+// disables that). See internal/analysis for what each pass enforces and
+// the //pgvet: annotation escape hatches.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"probgraph/internal/analysis"
 )
@@ -18,12 +27,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pgvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: pgvet [packages]")
-		fmt.Fprintln(stderr, "Runs the probgraph invariant analyzers (detrange, spanclose, ctxflow, noalloc, atomicmix).")
+		fmt.Fprintln(stderr, "usage: pgvet [-json] [packages]")
+		fmt.Fprintln(stderr, "Runs the probgraph invariant analyzers (detrange, spanclose, ctxflow, noalloc,")
+		fmt.Fprintln(stderr, "atomicmix, lockorder, leakcheck, snapfields).")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -33,14 +53,49 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Run(".", patterns...)
+
+	start := time.Now()
+	pkgs, stats, err := analysis.LoadWithStats(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	diags := analysis.RunAnalyzers(pkgs)
+	elapsed := time.Since(start)
+
+	// Relativize paths under the working directory: shorter lines, and CI
+	// problem matchers annotate by repo-relative path.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
+			}
+		}
 	}
+
+	if *jsonOut {
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	cached := ""
+	if stats.CacheHit {
+		cached = ", cached metadata"
+	}
+	fmt.Fprintf(stderr, "pgvet: %d package(s), %d analyzer(s) in %s%s\n",
+		stats.Packages, len(analysis.Analyzers), elapsed.Round(time.Millisecond), cached)
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "pgvet: %d finding(s)\n", len(diags))
 		return 1

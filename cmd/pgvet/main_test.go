@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunJSONCleanRepo runs the real suite over the repo with -json: the
+// output must be a valid (empty) JSON array, the exit code 0, and the
+// stderr timing line present.
+func TestRunJSONCleanRepo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "../../..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean repo produced findings: %v", findings)
+	}
+	if !strings.Contains(stderr.String(), "analyzer(s) in") {
+		t.Errorf("stderr is missing the timing line:\n%s", stderr.String())
+	}
+}
+
+// TestRunBadFlag keeps flag errors on exit 2, distinct from findings.
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for an unknown flag, want 2", code)
+	}
+}

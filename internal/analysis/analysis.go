@@ -1,6 +1,6 @@
 // Package analysis is pgvet's analyzer suite: a stdlib-only (go/ast,
 // go/parser, go/types, go/importer — no x/tools) static-analysis driver
-// plus five project-specific passes that mechanically enforce invariants
+// plus eight project-specific passes that mechanically enforce invariants
 // every PR so far has relied on but only runtime tests guarded:
 //
 //   - detrange:  determinism — no map iteration in query/render-path
@@ -16,12 +16,21 @@
 //     AllocsPerRun pins can miss on unexercised branches.
 //   - atomicmix: a struct field touched through sync/atomic anywhere is
 //     never read or written non-atomically elsewhere.
+//   - lockorder: no two call paths acquire the same mutexes in opposite
+//     orders, no re-acquisition of a held mutex, and no core lock taken
+//     while holding a server/obs lock (interprocedural, over the CHA
+//     call graph in callgraph.go).
+//   - leakcheck: every `go` launch site shows a provable termination
+//     path — a watched context, a WaitGroup.Done with a package-side
+//     Wait, or a receive from a channel the package closes.
+//   - snapfields: every exported field of a snapshot-serialized struct
+//     round-trips through all four codec paths (text/binary × save/load).
 //
 // Runtime tests (AllocsPerRun, the serial≡parallel identity properties,
-// the cancel-closes-spans sweep) catch violations late and only on
-// exercised paths; these passes catch them at vet time on all paths. Each
-// pass has an explicit, justified escape hatch — an annotation comment of
-// the form
+// the cancel-closes-spans sweep, -race under churn) catch violations late
+// and only on exercised paths; these passes catch them at vet time on all
+// paths. Each pass has an explicit, justified escape hatch — an
+// annotation comment of the form
 //
 //	//pgvet:<name> <one-line why>
 //
@@ -65,6 +74,9 @@ var Analyzers = []*Analyzer{
 	CtxFlow,
 	NoAlloc,
 	AtomicMix,
+	LockOrder,
+	LeakCheck,
+	SnapFields,
 }
 
 // RunAnalyzers runs every analyzer over pkgs and returns the findings
@@ -105,17 +117,29 @@ type directive struct {
 type directives map[int][]directive
 
 // parseDirectives collects every //pgvet: comment in file, keyed by line.
+// One comment may carry several directives ("//pgvet:sorted why
+// //pgvet:allocok why"): each introducer starts a new directive whose
+// argument runs to the next introducer.
 func parseDirectives(fset *token.FileSet, file *ast.File) directives {
+	const introducer = "//pgvet:"
 	ds := directives{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//pgvet:")
-			if !ok {
-				continue
-			}
-			name, arg, _ := strings.Cut(text, " ")
 			line := fset.Position(c.Pos()).Line
-			ds[line] = append(ds[line], directive{name: name, arg: strings.TrimSpace(arg)})
+			rest := c.Text
+			for {
+				i := strings.Index(rest, introducer)
+				if i < 0 {
+					break
+				}
+				rest = rest[i+len(introducer):]
+				text := rest
+				if j := strings.Index(text, introducer); j >= 0 {
+					text = text[:j]
+				}
+				name, arg, _ := strings.Cut(text, " ")
+				ds[line] = append(ds[line], directive{name: name, arg: strings.TrimSpace(arg)})
+			}
 		}
 	}
 	return ds

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestParseDirectivesTwoOnOneLine pins the multi-directive comment form:
+// each introducer starts a fresh directive and its argument stops at the
+// next introducer instead of swallowing it.
+func TestParseDirectivesTwoOnOneLine(t *testing.T) {
+	fset, f := parseOne(t, "package p\n\nvar x = 1 //pgvet:sorted keys are pre-sorted //pgvet:allocok cold path\n")
+	ds := parseDirectives(fset, f)
+	d, ok := ds.at(3, "sorted")
+	if !ok || d.arg != "keys are pre-sorted" {
+		t.Errorf("sorted directive = %+v (found=%v), want arg %q", d, ok, "keys are pre-sorted")
+	}
+	d, ok = ds.at(3, "allocok")
+	if !ok || d.arg != "cold path" {
+		t.Errorf("allocok directive = %+v (found=%v), want arg %q", d, ok, "cold path")
+	}
+}
+
+// TestOnFuncGenericMethod pins directive scoping on a generic type's
+// method: the annotation attaches to the declaration like any other
+// method — type parameters change nothing about comment positions.
+func TestOnFuncGenericMethod(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+type Pool[T any] struct{ items []T }
+
+// Len reports the pool size.
+//
+//pgvet:noalloc
+func (p *Pool[T]) Len() int { return len(p.items) }
+`)
+	ds := parseDirectives(fset, f)
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok {
+			fd = x
+		}
+	}
+	if fd == nil {
+		t.Fatal("no method declaration parsed")
+	}
+	if _, ok := ds.onFunc(fset, fd, "noalloc"); !ok {
+		t.Error("onFunc missed a directive in a generic method's doc comment")
+	}
+}

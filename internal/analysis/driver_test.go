@@ -3,6 +3,7 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -19,7 +20,7 @@ func TestRunCleanOnRepo(t *testing.T) {
 	}
 }
 
-// brokenFixture violates all five contracts at once. It lives in a
+// brokenFixture violates all eight contracts at once. It lives in a
 // throwaway module so `go list` resolves it like any real target.
 const brokenFixture = `// Package core deliberately violates every pgvet contract.
 package core
@@ -28,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 )
 
@@ -68,6 +70,79 @@ func Mixed(c *counters) int64 {
 	atomic.AddInt64(&c.hits, 1)
 	return c.hits
 }
+
+var muA, muB sync.Mutex
+
+func OrderAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func OrderBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var dbMu sync.Mutex
+
+func Mutate() {
+	dbMu.Lock()
+	dbMu.Unlock()
+}
+
+var leakCh = make(chan int)
+
+func SpawnLeak() {
+	go func() {
+		for range leakCh {
+		}
+	}()
+}
+
+type Sink struct{ n int64 }
+
+func (s *Sink) put(v int64) { s.n += v }
+
+type Rec struct {
+	A int64
+	B int64
+}
+
+func (r *Rec) Save() string { return fmt.Sprintf("%d %d", r.A, r.B) }
+
+func LoadRec(s string) *Rec {
+	r := &Rec{}
+	fmt.Sscanf(s, "%d %d", &r.A, &r.B)
+	return r
+}
+
+func (r *Rec) EncodeBinary(s *Sink) { s.put(r.A) }
+
+func DecodeRecBinary(v int64) *Rec { return &Rec{A: v, B: v} }
+`
+
+// brokenServerFixture holds a server-side lock across a call into the
+// core package, tripping lockorder's cross-package boundary rule.
+const brokenServerFixture = `// Package server holds its own lock across a call into core.
+package server
+
+import (
+	"sync"
+
+	core "fixture"
+)
+
+var mu sync.Mutex
+
+func Handle() {
+	mu.Lock()
+	core.Mutate()
+	mu.Unlock()
+}
 `
 
 // TestRunFlagsBrokenFixture proves the non-zero-exit half of the driver
@@ -77,19 +152,30 @@ func TestRunFlagsBrokenFixture(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, filepath.Join(dir, "go.mod"), "module fixture\n\ngo 1.24\n")
 	writeFile(t, filepath.Join(dir, "core.go"), brokenFixture)
+	if err := os.MkdirAll(filepath.Join(dir, "server"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "server", "server.go"), brokenServerFixture)
 
 	diags, err := Run(dir, "./...")
 	if err != nil {
 		t.Fatalf("pgvet load: %v", err)
 	}
 	byAnalyzer := map[string]int{}
+	boundary := false
 	for _, d := range diags {
 		byAnalyzer[d.Analyzer]++
+		if strings.Contains(d.Message, "while holding server-side lock") {
+			boundary = true
+		}
 	}
 	for _, a := range Analyzers {
 		if byAnalyzer[a.Name] == 0 {
 			t.Errorf("analyzer %s reported nothing on the broken fixture; findings: %v", a.Name, diags)
 		}
+	}
+	if !boundary {
+		t.Errorf("lockorder missed the cross-package server→core boundary violation; findings: %v", diags)
 	}
 }
 

@@ -124,11 +124,14 @@ func matchWant(wants []*expectation, d Diagnostic) *expectation {
 // that the matching analyzer stays silent about.
 func TestGoldenSuppressionsPresent(t *testing.T) {
 	annotations := map[string]string{
-		"detrange":  "//pgvet:sorted ",
-		"spanclose": "//pgvet:spanok ",
-		"ctxflow":   "//pgvet:ctxbg ",
-		"noalloc":   "//pgvet:allocok ",
-		"atomicmix": "//pgvet:nonatomic ",
+		"detrange":   "//pgvet:sorted ",
+		"spanclose":  "//pgvet:spanok ",
+		"ctxflow":    "//pgvet:ctxbg ",
+		"noalloc":    "//pgvet:allocok ",
+		"atomicmix":  "//pgvet:nonatomic ",
+		"lockorder":  "//pgvet:lockok ",
+		"leakcheck":  "//pgvet:leakok ",
+		"snapfields": "//pgvet:nosnap ",
 	}
 	for _, a := range Analyzers {
 		src, err := os.ReadFile(filepath.Join("testdata", "src", a.Name, a.Name+".go"))

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckMissingExportData pins the failure mode when an import's
+// export data is unavailable: a clean error naming the package, not a
+// nil dereference inside the importer.
+func TestCheckMissingExportData(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n\nimport \"sync\"\n\nvar Mu sync.Mutex\n", parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(fset, "x", []*ast.File{f}, exportImporter(fset, map[string]string{}))
+	if err == nil {
+		t.Fatal("expected an error for missing export data")
+	}
+	if !strings.Contains(err.Error(), "sync") {
+		t.Errorf("error does not name the missing package: %v", err)
+	}
+}
+
+// TestLoadCacheHit proves the go-list metadata cache round-trips: an
+// unchanged tree resolves from cache on the second load.
+func TestLoadCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module cachefix\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "a.go"), "package a\n\nfunc A() int { return 1 }\n")
+	t.Setenv("PGVET_NOCACHE", "")
+	if os.Getenv("PGVET_NOCACHE") != "" {
+		t.Fatal("PGVET_NOCACHE leaked into the test environment")
+	}
+
+	if _, _, err := LoadWithStats(dir, "./..."); err != nil {
+		t.Fatalf("first load: %v", err)
+	}
+	pkgs, stats, err := LoadWithStats(dir, "./...")
+	if err != nil {
+		t.Fatalf("second load: %v", err)
+	}
+	if !stats.CacheHit {
+		t.Error("second load over an unchanged tree did not hit the metadata cache")
+	}
+	if stats.Packages != 1 || len(pkgs) != 1 {
+		t.Errorf("loaded %d packages (stats %d), want 1", len(pkgs), stats.Packages)
+	}
+
+	// Touching a source file must invalidate the fingerprint.
+	writeFile(t, filepath.Join(dir, "a.go"), "package a\n\nfunc A() int { return 2 }\n")
+	_, stats, err = LoadWithStats(dir, "./...")
+	if err != nil {
+		t.Fatalf("third load: %v", err)
+	}
+	if stats.CacheHit {
+		t.Error("load after an edit reused stale cached metadata")
+	}
+}

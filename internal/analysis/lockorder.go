@@ -1,0 +1,464 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural deadlock pass: it propagates mutex
+// acquisitions through the call graph and reports (1) any cycle in the
+// resulting lock-order graph — two call paths that acquire the same two
+// locks in opposite orders, including the degenerate self-cycle of
+// re-acquiring a held sync.Mutex — and (2) any path that acquires a lock
+// owned by the core package while already holding a server- or obs-side
+// lock. The boundary rule is the sharding guard: once pgserve fans out
+// over shards, a handler that reaches core.Database's writer lock while
+// pinning a server-side mutex is a deadlock waiting for two shards to
+// cross. Runtime -race and the churn stress tests only see schedules that
+// actually interleave; this pass sees every path.
+//
+// The model is a lexical abstract interpretation, the same shape as
+// spanclose but whole-program: per function, acquisitions and call sites
+// are collected in source order with the locally-held set; a fixpoint then
+// propagates held-at-entry sets over the call graph. Locks are identified
+// by the same string keys as atomicmix fields ("pkgpath.Type.field" for
+// mutex fields, scope-qualified names for variables), so an acquisition in
+// a source-loaded package and a call from an export-data-loaded view of it
+// agree. `defer mu.Unlock()` keeps the lock held to function end — which
+// is exactly right for ordering purposes. Goroutine bodies (`go func`)
+// are separate roots with an empty held set: the launcher's locks are not
+// held on the new goroutine's stack.
+//
+// Escape hatch: //pgvet:lockok <why> on the acquiring line removes that
+// acquisition's edges from the order graph; the justification is
+// mandatory.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "no lock-order cycles, and no core lock acquired while holding a server/obs lock",
+	Run:  runLockOrder,
+}
+
+// lockRef identifies one lock: key for identity, display for messages,
+// pkgName for the core/server/obs boundary rule.
+type lockRef struct {
+	key     string
+	display string
+	pkgName string
+}
+
+// lock event kinds, in the order they appear in a function's event stream.
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+)
+
+type lockEvent struct {
+	kind     int
+	lock     lockRef  // evAcquire / evRelease
+	callees  []string // evCall
+	deferred bool     // evRelease inside a defer: held to function end
+	pos      token.Pos
+}
+
+// lockFn is one function's event stream; goroutine bodies become synthetic
+// entries (key "parent$goN") that the fixpoint treats as roots.
+type lockFn struct {
+	key    string
+	node   *cgNode // declaring function's node (directives, position info)
+	events []lockEvent
+	goBody bool
+}
+
+func runLockOrder(pkgs []*Package, report func(Diagnostic)) {
+	cg := buildCallGraph(pkgs)
+
+	fns := map[string]*lockFn{}
+	var keys []string
+	for _, key := range cg.sortedKeys() {
+		node := cg.node(key)
+		for _, lf := range collectLockFns(node) {
+			fns[lf.key] = lf
+			keys = append(keys, lf.key)
+		}
+	}
+	sort.Strings(keys)
+
+	// Fixpoint: propagate the set of locks held at entry along call edges.
+	// Goroutine bodies keep an empty entry set — they run on a new stack.
+	heldAtEntry := map[string]map[string]lockRef{}
+	for _, k := range keys {
+		heldAtEntry[k] = map[string]lockRef{}
+	}
+	work := append([]string(nil), keys...)
+	for len(work) > 0 {
+		key := work[len(work)-1]
+		work = work[:len(work)-1]
+		lf := fns[key]
+		held := cloneLocks(heldAtEntry[key])
+		for _, ev := range lf.events {
+			switch ev.kind {
+			case evAcquire:
+				held[ev.lock.key] = ev.lock
+			case evRelease:
+				if !ev.deferred {
+					delete(held, ev.lock.key)
+				}
+			case evCall:
+				for _, callee := range ev.callees {
+					target, ok := fns[callee]
+					if !ok || target.goBody {
+						continue
+					}
+					entry := heldAtEntry[callee]
+					grew := false
+					for k, l := range held {
+						if _, have := entry[k]; !have {
+							entry[k] = l
+							grew = true
+						}
+					}
+					if grew {
+						work = append(work, callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Final replay: collect order edges and report the immediate findings
+	// (re-entry, boundary violations) at their acquisition sites.
+	type lockEdge struct {
+		from, to lockRef
+		pos      token.Pos
+		node     *cgNode
+	}
+	edges := map[string]*lockEdge{}
+	var edgeKeys []string
+	reported := map[string]bool{}
+	for _, key := range keys {
+		lf := fns[key]
+		held := cloneLocks(heldAtEntry[key])
+		for _, ev := range lf.events {
+			switch ev.kind {
+			case evAcquire:
+				line := lf.node.pkg.Fset.Position(ev.pos).Line
+				ds := fileDirectives(lf.node.pkg, ev.pos)
+				if ok, unjustified := suppressed(ds, lf.node.pkg.Fset, lf.node.decl, line, "lockok"); ok {
+					held[ev.lock.key] = ev.lock
+					continue
+				} else if unjustified {
+					rk := "just:" + lf.node.pkg.Fset.Position(ev.pos).String()
+					if !reported[rk] {
+						reported[rk] = true
+						report(Diagnostic{Pos: lf.node.pkg.Fset.Position(ev.pos),
+							Message: "//pgvet:lockok annotation is missing its one-line justification"})
+					}
+					held[ev.lock.key] = ev.lock
+					continue
+				}
+				if _, re := held[ev.lock.key]; re {
+					rk := "re:" + lf.node.pkg.Fset.Position(ev.pos).String()
+					if !reported[rk] {
+						reported[rk] = true
+						report(Diagnostic{Pos: lf.node.pkg.Fset.Position(ev.pos),
+							Message: "lock " + ev.lock.display + " acquired while already held on this path (sync mutexes are not reentrant)"})
+					}
+				}
+				for _, h := range sortedLocks(held) {
+					if h.key == ev.lock.key {
+						continue
+					}
+					if isServerSide(h.pkgName) && ev.lock.pkgName == "core" {
+						rk := "bound:" + lf.node.pkg.Fset.Position(ev.pos).String() + "|" + h.key
+						if !reported[rk] {
+							reported[rk] = true
+							report(Diagnostic{Pos: lf.node.pkg.Fset.Position(ev.pos),
+								Message: "core lock " + ev.lock.display + " acquired while holding " + h.pkgName + "-side lock " + h.display +
+									" (deadlock-by-construction once shards fan out); release it first or annotate //pgvet:lockok <why>"})
+						}
+					}
+					ek := h.key + "->" + ev.lock.key
+					if _, ok := edges[ek]; !ok {
+						edges[ek] = &lockEdge{from: h, to: ev.lock, pos: ev.pos, node: lf.node}
+						edgeKeys = append(edgeKeys, ek)
+					}
+				}
+				held[ev.lock.key] = ev.lock
+			case evRelease:
+				if !ev.deferred {
+					delete(held, ev.lock.key)
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the lock-order graph: any strongly connected
+	// component with two or more locks means two paths disagree on order.
+	adj := map[string][]string{}
+	inGraph := map[string]lockRef{}
+	sort.Strings(edgeKeys)
+	for _, ek := range edgeKeys {
+		e := edges[ek]
+		adj[e.from.key] = append(adj[e.from.key], e.to.key)
+		inGraph[e.from.key] = e.from
+		inGraph[e.to.key] = e.to
+	}
+	sccOf := stronglyConnected(inGraph, adj)
+	members := map[int][]string{}
+	for k, id := range sccOf { //pgvet:sorted member lists are sorted before use
+		members[id] = append(members[id], k)
+	}
+	for _, ek := range edgeKeys {
+		e := edges[ek]
+		if sccOf[e.from.key] != sccOf[e.to.key] {
+			continue
+		}
+		cycle := members[sccOf[e.from.key]]
+		if len(cycle) < 2 {
+			continue
+		}
+		sort.Strings(cycle)
+		var names []string
+		for _, k := range cycle {
+			names = append(names, inGraph[k].display)
+		}
+		report(Diagnostic{Pos: e.node.pkg.Fset.Position(e.pos),
+			Message: "acquiring " + e.to.display + " while holding " + e.from.display +
+				" creates a lock-order cycle among {" + strings.Join(names, ", ") + "}; pick one order or annotate //pgvet:lockok <why>"})
+	}
+}
+
+// collectLockFns walks one declaration into its event stream plus one
+// synthetic stream per `go func` body found inside it (recursively).
+func collectLockFns(node *cgNode) []*lockFn {
+	main := &lockFn{key: node.key, node: node}
+	out := []*lockFn{main}
+	var walk func(root ast.Node, into *lockFn)
+	walk = func(root ast.Node, into *lockFn) {
+		deferCalls := map[*ast.CallExpr]bool{}
+		goLits := map[*ast.FuncLit]bool{}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				deferCalls[n.Call] = true
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					goLits[lit] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(root, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && goLits[lit] && n != root {
+				sub := &lockFn{key: into.key + "$go" + itoa(len(out)), node: node, goBody: true}
+				out = append(out, sub)
+				walk(lit.Body, sub)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lock, acquire, isLock := lockCall(node.pkg, call); isLock {
+				kind := evRelease
+				if acquire {
+					kind = evAcquire
+				}
+				into.events = append(into.events, lockEvent{
+					kind: kind, lock: lock, deferred: deferCalls[call], pos: call.Pos(),
+				})
+				return true
+			}
+			if callees := node.pkg.callees(call); len(callees) > 0 {
+				into.events = append(into.events, lockEvent{kind: evCall, callees: callees, pos: call.Pos()})
+			}
+			return true
+		})
+	}
+	walk(main.node.decl, main)
+	return out
+}
+
+// callees resolves a call site to target keys without CHA (static calls
+// only): the event streams need the same resolution the call graph uses
+// for static calls, and interface dispatch is handled conservatively by
+// not propagating held sets through it.
+func (pkg *Package) callees(call *ast.CallExpr) []string {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		return nil
+	}
+	return []string{funcKey(fn)}
+}
+
+// lockCall classifies call as a sync.Mutex/RWMutex (R)Lock or (R)Unlock on
+// an identifiable lock, returning the lock and whether it acquires.
+func lockCall(pkg *Package, call *ast.CallExpr) (lockRef, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, false, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockRef{}, false, false
+	}
+	var acquire bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockRef{}, false, false
+	}
+	lock := lockRefOf(pkg, sel.X)
+	if lock.key == "" {
+		return lockRef{}, false, false
+	}
+	return lock, acquire, true
+}
+
+// lockRefOf identifies the lock named by the receiver expression of a
+// (R)Lock/(R)Unlock call: struct fields key like atomicmix fields,
+// package-level vars by path-qualified name, locals by declaration site.
+func lockRefOf(pkg *Package, expr ast.Expr) lockRef {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if key := fieldKey(pkg, e); key != "" {
+			named, _ := derefType(pkg.Info.Selections[e].Recv()).(*types.Named)
+			return lockRef{key: key, display: shortKey(key), pkgName: named.Obj().Pkg().Name()}
+		}
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			key := obj.Pkg().Path() + "." + obj.Name()
+			return lockRef{key: key, display: obj.Pkg().Name() + "." + obj.Name(), pkgName: obj.Pkg().Name()}
+		}
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return lockRef{}
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			key := obj.Pkg().Path() + "." + obj.Name()
+			return lockRef{key: key, display: obj.Pkg().Name() + "." + obj.Name(), pkgName: obj.Pkg().Name()}
+		}
+		// Function-local lock: one lock per declaration site.
+		p := pkg.Fset.Position(obj.Pos())
+		key := obj.Pkg().Path() + "." + obj.Name() + "@" + itoa(p.Line)
+		return lockRef{key: key, display: obj.Name() + " (local, " + obj.Pkg().Name() + ")", pkgName: obj.Pkg().Name()}
+	}
+	return lockRef{}
+}
+
+// shortKey renders "full/pkg/path.Type.field" as "pkg.Type.field".
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// isServerSide reports locks owned by the serving layers for the boundary
+// rule: holding one of these while taking a core lock inverts the
+// designed core→outward order.
+func isServerSide(pkgName string) bool { return pkgName == "server" || pkgName == "obs" }
+
+func cloneLocks(m map[string]lockRef) map[string]lockRef {
+	c := make(map[string]lockRef, len(m))
+	for k, v := range m { //pgvet:sorted analysis-internal state clone; diagnostics are sorted at the end
+		c[k] = v
+	}
+	return c
+}
+
+func sortedLocks(m map[string]lockRef) []lockRef {
+	keys := make([]string, 0, len(m))
+	for k := range m { //pgvet:sorted keys are sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockRef, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// fileDirectives parses the //pgvet: annotations of the file containing
+// pos, caching per package so replays stay cheap.
+func fileDirectives(pkg *Package, pos token.Pos) directives {
+	if pkg.dirCache == nil {
+		pkg.dirCache = map[*ast.File]directives{}
+	}
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			ds, ok := pkg.dirCache[f]
+			if !ok {
+				ds = parseDirectives(pkg.Fset, f)
+				pkg.dirCache[f] = ds
+			}
+			return ds
+		}
+	}
+	return directives{}
+}
+
+// stronglyConnected is Tarjan's algorithm over the lock-order graph,
+// returning a component id per node key.
+func stronglyConnected(nodes map[string]lockRef, adj map[string][]string) map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	keys := make([]string, 0, len(nodes))
+	for k := range nodes { //pgvet:sorted keys are sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapFields is the codec-parity pass: every exported field of a struct
+// that the snapshot formats serialize must be referenced in all four codec
+// paths — text save, text load, binary save, binary load (pgsnap v3 and
+// v4 maintain the same sections side by side) — or carry a justified
+// //pgvet:nosnap <why> on its declaration. It turns the "added a field,
+// forgot one codec" bug from a fixture-replay failure into a vet-time
+// diagnostic.
+//
+// The four paths are call-graph closures seeded by function name: a
+// function whose name starts with Save/Encode (case-insensitive) roots a
+// save path, Load/Decode a load path; a classified name containing
+// "binary" selects the binary variant of either, anything else the text
+// variant. Traversal from a root walks unclassified helpers freely but
+// stops at any function classified into a *different* path — that cut is
+// what keeps LoadDatabase's magic-sniffing dispatch into
+// loadBinarySnapshot from folding the two load closures together (and
+// SaveAs's format switch likewise). Field references are plain selector
+// reads/writes plus composite-literal fields (keyed fields individually,
+// positional literals touch every field).
+//
+// A struct is in scope when at least one of its exported fields is
+// referenced in all four closures — that is what "serialized into a
+// snapshot section" looks like statically, and it keeps single-format
+// structs (the text-only dataset.DB header, server JSON bodies, build
+// stats) out of scope. In-scope structs then owe every exported field to
+// all four paths. Derived or runtime-only fields are the escape hatch's
+// job: //pgvet:nosnap <why> on the field, justification mandatory.
+var SnapFields = &Analyzer{
+	Name: "snapfields",
+	Doc:  "every exported field of a snapshot-serialized struct is referenced in all four codec paths",
+	Run:  runSnapFields,
+}
+
+// codec path indices, in reporting order.
+const (
+	pTextSave = iota
+	pTextLoad
+	pBinSave
+	pBinLoad
+	nPaths
+)
+
+var pathNames = [nPaths]string{"text save", "text load", "binary save", "binary load"}
+
+// classifyCodec maps a function name to its codec path. ok is false for
+// unclassified helpers (which every traversal may walk through).
+func classifyCodec(name string) (path int, ok bool) {
+	lower := strings.ToLower(name)
+	var save bool
+	switch {
+	case strings.HasPrefix(lower, "save"), strings.HasPrefix(lower, "encode"):
+		save = true
+	case strings.HasPrefix(lower, "load"), strings.HasPrefix(lower, "decode"):
+		save = false
+	default:
+		return 0, false
+	}
+	if strings.Contains(lower, "binary") {
+		if save {
+			return pBinSave, true
+		}
+		return pBinLoad, true
+	}
+	if save {
+		return pTextSave, true
+	}
+	return pTextLoad, true
+}
+
+func runSnapFields(pkgs []*Package, report func(Diagnostic)) {
+	cg := buildCallGraph(pkgs)
+
+	// The key's last segment is the function (not receiver) name; classify
+	// every node once.
+	pathOf := map[string]int{}
+	classified := map[string]bool{}
+	var roots [nPaths][]string
+	for _, key := range cg.sortedKeys() {
+		name := key[strings.LastIndex(key, ".")+1:]
+		if p, ok := classifyCodec(name); ok {
+			pathOf[key] = p
+			classified[key] = true
+			roots[p] = append(roots[p], key)
+		}
+	}
+
+	// One closure per path; the cut stops traversal at nodes classified
+	// into any other path.
+	var refs [nPaths]map[string]bool
+	for p := 0; p < nPaths; p++ {
+		path := p
+		closure := cg.closure(roots[p], func(key string) bool {
+			return classified[key] && pathOf[key] != path
+		})
+		refs[p] = map[string]bool{}
+		keys := make([]string, 0, len(closure))
+		for k := range closure { //pgvet:sorted keys are sorted on the next line
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if node := cg.node(k); node != nil {
+				collectFieldRefs(node, refs[p])
+			}
+		}
+	}
+
+	// Sweep every struct declared in the loaded packages: in scope when
+	// some exported field appears in all four closures; then every
+	// exported field owes all four or a justified //pgvet:nosnap.
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			inScope := false
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				key := structFieldKey(named, f)
+				all := true
+				for p := 0; p < nPaths; p++ {
+					all = all && refs[p][key]
+				}
+				if all {
+					inScope = true
+					break
+				}
+			}
+			if !inScope {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				key := structFieldKey(named, f)
+				var missing []string
+				for p := 0; p < nPaths; p++ {
+					if !refs[p][key] {
+						missing = append(missing, pathNames[p])
+					}
+				}
+				if len(missing) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(f.Pos())
+				ds := fileDirectives(pkg, f.Pos())
+				if ok, unjustified := suppressed(ds, pkg.Fset, nil, pos.Line, "nosnap"); ok {
+					continue
+				} else if unjustified {
+					report(Diagnostic{Pos: pos, Message: "//pgvet:nosnap annotation is missing its one-line justification"})
+					continue
+				}
+				report(Diagnostic{Pos: pos, Message: "snapshot field " + shortKey(key) +
+					" is not referenced in the " + strings.Join(missing, ", ") + " codec path(s); " +
+					"round-trip it through all four or annotate //pgvet:nosnap <why>"})
+			}
+		}
+	}
+}
+
+// structFieldKey renders a declared field in the same space fieldKey puts
+// selector references: "pkgpath.Type.field".
+func structFieldKey(named *types.Named, f *types.Var) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + f.Name()
+}
+
+// collectFieldRefs records every struct-field reference in node's body
+// into out: selector reads/writes, keyed composite-literal fields, and —
+// for positional composite literals — every field of the struct.
+func collectFieldRefs(node *cgNode, out map[string]bool) {
+	pkg := node.pkg
+	ast.Inspect(node.decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if key := fieldKey(pkg, n); key != "" {
+				out[key] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, ok := derefType(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			named = named.Origin()
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			keyed := false
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				keyed = true
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if named.Obj().Pkg() != nil {
+						out[named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+id.Name] = true
+					}
+				}
+			}
+			if !keyed && len(n.Elts) > 0 {
+				// Positional literal: every field is written.
+				for i := 0; i < st.NumFields(); i++ {
+					if key := structFieldKey(named, st.Field(i)); key != "" {
+						out[key] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}

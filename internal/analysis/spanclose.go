@@ -141,6 +141,7 @@ func (w *spanWalker) walk(stmts []ast.Stmt, open openSet) bool {
 }
 
 func (w *spanWalker) walkStmt(stmt ast.Stmt, open openSet) bool {
+	w.compositeTransfers(stmt, open)
 	switch s := stmt.(type) {
 	case *ast.AssignStmt:
 		w.handleAssign(s, open)
@@ -228,6 +229,40 @@ func (w *spanWalker) walkStmt(stmt ast.Stmt, open openSet) bool {
 		w.walkLoop(s.Body, open)
 	}
 	return false
+}
+
+// compositeTransfers removes from open any span stored into a composite
+// literal within a leaf statement: c := carrier{span: sp} (or return
+// carrier{sp}) hands ownership to whatever holds the literal, exactly
+// like assigning to a field — which already stops tracking. Branch and
+// loop statements are skipped here; their nested leaves each pass
+// through walkStmt and get their own check.
+func (w *spanWalker) compositeTransfers(stmt ast.Stmt, open openSet) {
+	switch stmt.(type) {
+	case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.SendStmt:
+	default:
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			id, ok := el.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := w.pkg.Info.Uses[id]; obj != nil {
+				delete(open, obj)
+			}
+		}
+		return true
+	})
 }
 
 // fakeObj stands in for the (nonexistent) variable of a discarded span.

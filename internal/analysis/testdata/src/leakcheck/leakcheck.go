@@ -1,0 +1,73 @@
+// Package leakcheck is the leakcheck golden fixture: a leaked launch for
+// the literal and the named-function form, one passing launch per
+// accepted termination evidence, and a documented process-lifetime
+// exception.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakRange launches a ranger over a channel nothing ever closes.
+func LeakRange(ch chan int) {
+	go func() { // want "no provable termination path"
+		for range ch {
+		}
+	}()
+}
+
+// spin receives forever; it is the target of LeakNamed.
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// LeakNamed launches a declared function with no termination path.
+func LeakNamed(ch chan int) {
+	go spin(ch) // want "no provable termination path"
+}
+
+// WaitedOK pairs every Done with the Wait below — the worker-pool shape.
+func WaitedOK(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxOK ties the goroutine's lifetime to a cancelable context.
+func CtxOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ClosedOK drains a channel this function provably closes.
+func ClosedOK(work []int) {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	for _, w := range work {
+		ch <- w
+	}
+	close(ch)
+}
+
+// Forever runs for the process lifetime on purpose.
+//
+//pgvet:leakok fixture: accept-loop runs for the process lifetime by design
+func Forever(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

@@ -1,0 +1,60 @@
+// Package lockorder is the lockorder golden fixture: a two-lock cycle
+// with one leg acquired through a helper (so the edge only exists
+// interprocedurally), a reentrant acquisition, and a deliberate inversion
+// with a documented exception.
+package lockorder
+
+import "sync"
+
+var a, b sync.Mutex
+
+// AcquireAB takes a then b — b through a helper, so the a→b edge is only
+// visible once held sets propagate over the call graph.
+func AcquireAB() {
+	a.Lock()
+	lockB()
+	a.Unlock()
+}
+
+func lockB() {
+	b.Lock() // want "acquiring lockorder.b while holding lockorder.a creates a lock-order cycle"
+	b.Unlock()
+}
+
+// AcquireBA takes the same two locks in the opposite order.
+func AcquireBA() {
+	b.Lock()
+	a.Lock() // want "acquiring lockorder.a while holding lockorder.b creates a lock-order cycle"
+	defer a.Unlock()
+	defer b.Unlock()
+}
+
+var m sync.Mutex
+
+// Reenter acquires m twice on a single path; sync mutexes self-deadlock.
+func Reenter() {
+	m.Lock()
+	m.Lock() // want "acquired while already held"
+	m.Unlock()
+	m.Unlock()
+}
+
+var c, d sync.Mutex
+
+// AcquireCD establishes the intended c→d order.
+func AcquireCD() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}
+
+// AcquireDC inverts it on purpose; the annotation removes the d→c edge
+// and with it the would-be cycle.
+func AcquireDC() {
+	d.Lock()
+	//pgvet:lockok fixture: startup-only path, never concurrent with AcquireCD
+	c.Lock()
+	c.Unlock()
+	d.Unlock()
+}

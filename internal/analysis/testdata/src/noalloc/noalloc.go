@@ -72,3 +72,12 @@ func ColdPath(err error) string {
 
 // Unannotated is not under the contract; nothing here is flagged.
 func Unannotated(s, t string) string { return s + t }
+
+// Pool is generic; the contract attaches to its annotated method exactly
+// as it does to a plain method — type parameters change nothing.
+type Pool[T any] struct{ items []T }
+
+//pgvet:noalloc
+func (p *Pool[T]) Describe(prefix string) string {
+	return prefix + "pool" // want "string concatenation"
+}

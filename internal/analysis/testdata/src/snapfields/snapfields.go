@@ -1,0 +1,62 @@
+// Package snapfields is the snapfields golden fixture: a serialized
+// record whose binary encoder forgot one field, a load-derived field with
+// a documented exception, and a text-only struct that stays out of scope.
+package snapfields
+
+import "fmt"
+
+// sink models a snapshot section; the binary codec writes into it.
+type sink struct{ buf []byte }
+
+func (s *sink) u64(v uint64) { _ = v }
+func (s *sink) str(v string) { _ = v }
+
+// Record round-trips through both formats — almost.
+type Record struct {
+	ID   uint64
+	Name string
+	Skew uint64 // want "not referenced in the binary save codec path"
+	//pgvet:nosnap fixture: cache is rebuilt from Name at load time
+	Cache string
+}
+
+// Save writes the text form.
+func (r *Record) Save() string {
+	return fmt.Sprintf("%d %s %d", r.ID, r.Name, r.Skew)
+}
+
+// Load reads the text form.
+func Load(line string) (*Record, error) {
+	r := &Record{}
+	if _, err := fmt.Sscanf(line, "%d %s %d", &r.ID, &r.Name, &r.Skew); err != nil {
+		return nil, err
+	}
+	r.Cache = r.Name
+	return r, nil
+}
+
+// EncodeBinary writes the binary form — and forgot Skew.
+func (r *Record) EncodeBinary(s *sink) {
+	s.u64(r.ID)
+	s.str(r.Name)
+}
+
+// DecodeBinary reads the binary form.
+func DecodeBinary(data []byte) *Record {
+	r := &Record{}
+	r.ID = uint64(len(data))
+	r.Name = string(data)
+	r.Skew = 0
+	r.Cache = r.Name
+	return r
+}
+
+// Header has no binary section at all, so it never enters scope: no
+// finding for Version despite its two-path reference.
+type Header struct{ Version int }
+
+// SaveHeader writes the text-only header.
+func SaveHeader(h *Header) string { return fmt.Sprintf("v%d", h.Version) }
+
+// LoadHeader reads it back.
+func LoadHeader() *Header { return &Header{Version: 3} }

@@ -90,3 +90,24 @@ func LoopLeak(parent Span, n int) {
 	}
 	sp.End()
 }
+
+// carrier owns a span on behalf of a longer-lived operation.
+type carrier struct {
+	span Span
+	name string
+}
+
+// TransferStruct hands the span to a carrier struct literal — ownership
+// moves with the literal, same as returning the span directly; clean.
+func TransferStruct(parent Span) carrier {
+	sp := parent.Child("op")
+	return carrier{span: sp, name: "op"}
+}
+
+// TransferStructAssign stores the span into a literal bound to a
+// variable the function returns later; also clean.
+func TransferStructAssign(parent Span) *carrier {
+	sp := parent.Child("op")
+	c := &carrier{span: sp}
+	return c
+}

@@ -78,8 +78,10 @@ type View struct {
 	// committed mutation increments it.
 	Generation uint64
 
-	Graphs  []*prob.PGraph
+	Graphs []*prob.PGraph
+	//pgvet:nosnap engines are rebuilt lazily after a load (junction-tree construction is deterministic)
 	Engines []*prob.Engine
+	//pgvet:nosnap each entry aliases Graphs[i].G; loaders re-derive the slice
 	Certain []*graph.Graph
 
 	// engLazy backs nil Engines slots from snapshot loads, resolved on
@@ -91,6 +93,7 @@ type View struct {
 	PMI      *pmi.Index
 	Struct   *simsearch.Index
 
+	//pgvet:nosnap build-time metrics, not state; loaders repopulate the fields queries read
 	Build BuildStats
 	opt   BuildOptions
 

@@ -114,10 +114,12 @@ type Entry struct {
 // indexes sharing untouched rows with their predecessor.
 type Index struct {
 	Features []*graph.Graph
-	Codes    []string
+	//pgvet:nosnap canonical codes are re-derived from Features at load time
+	Codes []string
 	// Entries[fi][gi] bounds Pr(Features[fi] ⊆iso db[gi]).
 	Entries [][]Entry
-	Opt     Options
+	//pgvet:nosnap pmi sections do not persist options; the snapshot loaders restore them from BuildOptions
+	Opt Options
 
 	// masked marks tombstoned columns (nil = none); maskCount counts
 	// them. Masked columns keep their in-memory entries (the row slices
