@@ -10,6 +10,7 @@
 //	         [-timeout 0] [-stream] [-trace] [-savesnap db.idx]
 //	         [-format text|binary]
 //	pgsearch -loadsnap db.idx ...   (start from a snapshot, no re-indexing)
+//	pgsearch -server http://host:8091 -qfile q.pgraph ...   (remote mode)
 //
 // Queries are extracted from the certain graph of the graph at index
 // -qfrom (rotating across -queries runs), matching the paper's workload
@@ -22,6 +23,13 @@
 // bounds, so repeated sessions (and cmd/pgserve) skip the offline index
 // build. Binary snapshots are opened via mmap: no full parse at startup.
 // -json prints machine-readable results to stdout instead of tables.
+// -savesnap with -partition N instead writes N contiguous range-shard
+// snapshots (<savesnap>.shard<i>), one per cmd/pgproxy fleet member.
+//
+// -server runs the same queries against a running pgserve (or pgproxy
+// coordinator) over HTTP instead of evaluating locally; it requires
+// -qfile and prints exactly what local evaluation with the same flags
+// would — the server's answers are bitwise-identical to the library's.
 //
 // -workers N evaluates candidate graphs on a pool of N goroutines (N < 0
 // selects GOMAXPROCS). -batch additionally runs all queries through one
@@ -109,11 +117,34 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for the query run (0 = none; expiry exits 3)")
 	stream := flag.Bool("stream", false, "stream matches as NDJSON while verification admits them")
 	trace := flag.Bool("trace", false, "print each query's span tree (pipeline stages, per-shard scans) to stderr as JSON")
+	serverURL := flag.String("server", "", "query a running pgserve/pgproxy at this base URL instead of evaluating locally (requires -qfile)")
+	partition := flag.Int("partition", 0, "with -savesnap: split the database into N contiguous range shards, writing <savesnap>.shard<i> files")
 	flag.Parse()
 
-	if (*dbPath == "") == (*loadSnap == "") {
+	if *serverURL != "" {
+		// Remote mode holds no database: queries must come from -qfile, and
+		// every local-index flag is meaningless.
+		if *qfile == "" {
+			fmt.Fprintln(os.Stderr, "pgsearch: -server requires -qfile")
+			os.Exit(2)
+		}
+		for flagName, set := range map[string]bool{
+			"-db": *dbPath != "", "-loadsnap": *loadSnap != "", "-savesnap": *saveSnap != "",
+			"-saveindex": *saveIndex != "", "-loadindex": *loadIndex != "",
+			"-partition": *partition != 0, "-trace": *trace,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "pgsearch: %s cannot be combined with -server (use trace=1 against the server for traces)\n", flagName)
+				os.Exit(2)
+			}
+		}
+	} else if (*dbPath == "") == (*loadSnap == "") {
 		fmt.Fprintln(os.Stderr, "pgsearch: give exactly one of -db or -loadsnap")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *partition != 0 && (*partition < 1 || *saveSnap == "") {
+		fmt.Fprintln(os.Stderr, "pgsearch: -partition needs a positive shard count and -savesnap")
 		os.Exit(2)
 	}
 	// Reject out-of-range thresholds up front: a bad ε/δ would otherwise
@@ -144,6 +175,16 @@ func main() {
 		if !*jsonOut && !*stream {
 			fmt.Printf(format, args...)
 		}
+	}
+
+	if *serverURL != "" {
+		runRemote(remoteConfig{
+			url: *serverURL, qfile: *qfile,
+			epsilon: *epsilon, delta: *delta, verifier: *verifier, plain: *plain,
+			seed: *seed, workers: *workers, batch: *batch, stream: *stream,
+			jsonOut: *jsonOut, verbose: *verbose, timeout: *timeout,
+		}, say)
+		return
 	}
 
 	start := time.Now()
@@ -197,10 +238,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pgsearch: %v\n", err)
 			os.Exit(2)
 		}
-		if err := db.SaveFile(*saveSnap, sf); err != nil {
-			log.Fatal(err)
+		if *partition > 0 {
+			// One snapshot per contiguous range shard: <base>.shard<i> files
+			// each carry the full feature vocabulary plus that range's
+			// graphs, postings, and PMI columns — what cmd/pgproxy's fleet
+			// serves (see internal/cluster).
+			ranges, err := probgraph.PartitionRanges(db.Len(), *partition)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, r := range ranges {
+				path := fmt.Sprintf("%s.shard%d", *saveSnap, i)
+				if err := db.SaveRangeFile(path, r[0], r[1], sf); err != nil {
+					log.Fatal(err)
+				}
+				say("saved %s shard %d [%d,%d) to %s\n", *format, i, r[0], r[1], path)
+			}
+		} else {
+			if err := db.SaveFile(*saveSnap, sf); err != nil {
+				log.Fatal(err)
+			}
+			say("saved %s snapshot to %s\n", *format, *saveSnap)
 		}
-		say("saved %s snapshot to %s\n", *format, *saveSnap)
 	}
 	if *saveIndex != "" {
 		if db.PMI() == nil {

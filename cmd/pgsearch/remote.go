@@ -1,0 +1,312 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"probgraph"
+	"probgraph/internal/server"
+	"probgraph/internal/stats"
+)
+
+// remoteConfig is -server mode's slice of the flag set.
+type remoteConfig struct {
+	url      string
+	qfile    string
+	epsilon  float64
+	delta    int
+	verifier string
+	plain    bool
+	seed     int64
+	workers  int
+	batch    bool
+	stream   bool
+	jsonOut  bool
+	verbose  bool
+	timeout  time.Duration
+}
+
+// runRemote answers the -qfile queries against a running pgserve or
+// pgproxy instead of evaluating locally. Seeds derive exactly as in local
+// mode (BatchSeed per query; the base seed for -batch, which the server
+// derives per member itself), and the server evaluates with the same
+// engine — so the printed answers, SSP estimates, and NDJSON summaries
+// are bitwise what local evaluation with the same flags prints.
+func runRemote(cfg remoteConfig, say func(string, ...any)) {
+	f, err := os.Open(cfg.qfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := probgraph.LoadGraphs(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(qs) == 0 {
+		log.Fatalf("pgsearch: no query graphs in %s", cfg.qfile)
+	}
+	say("loaded %d query graph(s) from %s\n", len(qs), cfg.qfile)
+
+	rc := &remoteClient{
+		base: strings.TrimRight(cfg.url, "/"),
+		// The client itself has no timeout: -timeout travels as timeout_ms
+		// and the server enforces it, answering a structured 504.
+		hc:        &http.Client{},
+		timeoutMS: cfg.timeout.Milliseconds(),
+	}
+
+	if cfg.stream {
+		runRemoteStream(rc, cfg, qs)
+		return
+	}
+
+	qStart := time.Now()
+	var results []*server.QueryResponse
+	if cfg.batch {
+		breq := server.BatchRequest{
+			Epsilon: cfg.epsilon, Delta: cfg.delta, Verifier: cfg.verifier,
+			Plain: cfg.plain, Seed: cfg.seed, Workers: cfg.workers,
+			TimeoutMS: rc.timeoutMS,
+		}
+		for _, q := range qs {
+			breq.Queries = append(breq.Queries, *server.GraphToJSON(q))
+		}
+		var bresp server.BatchResponse
+		rc.post("/batch", &breq, &bresp)
+		results = bresp.Results
+	} else {
+		for i, q := range qs {
+			req := server.QueryRequest{
+				Graph:   server.GraphToJSON(q),
+				Epsilon: cfg.epsilon, Delta: cfg.delta, Verifier: cfg.verifier,
+				Plain: cfg.plain, Seed: probgraph.BatchSeed(cfg.seed, i),
+				Workers: cfg.workers, TimeoutMS: rc.timeoutMS,
+			}
+			var resp server.QueryResponse
+			rc.post("/query", &req, &resp)
+			results = append(results, &resp)
+		}
+	}
+	elapsed := time.Since(qStart)
+
+	if cfg.jsonOut {
+		printRemoteJSON(qs, results, elapsed)
+		return
+	}
+	table := stats.NewTable("query results",
+		"query", "answers", "struct", "pruned", "accepted", "verified", "time")
+	for i, res := range results {
+		table.AddRow(
+			fmt.Sprintf("q%d(%de)", i, qs[i].NumEdges()),
+			len(res.Answers),
+			res.Stats.StructConfirmed,
+			res.Stats.PrunedByUpper,
+			res.Stats.AcceptedByLower,
+			res.Stats.VerifyCandidates,
+			msToDuration(res.Stats.TimeTotalMS),
+		)
+		if cfg.verbose {
+			for k, gi := range res.Answers {
+				ssp := res.SSP[gi]
+				tag := fmt.Sprintf("SSP≈%.3f", ssp)
+				if ssp == -1 {
+					tag = "accepted by lower bound"
+				}
+				fmt.Printf("  q%d → %s (%s)\n", i, res.Names[k], tag)
+			}
+		}
+	}
+	table.Render(os.Stdout)
+	fmt.Printf("%d queries in %v (workers=%d, batch=%v)\n",
+		len(qs), elapsed.Round(time.Microsecond), cfg.workers, cfg.batch)
+}
+
+// remoteClient posts JSON bodies against the server's base URL, mapping
+// the structured error statuses onto pgsearch's exit codes (504 → exit 3,
+// matching local -timeout expiry).
+type remoteClient struct {
+	base      string
+	hc        *http.Client
+	timeoutMS int64
+}
+
+func (rc *remoteClient) post(path string, in, out any) {
+	status, data := rc.postRaw(path, in)
+	if status != http.StatusOK {
+		rc.fail(status, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("pgsearch: undecodable response from %s%s: %v", rc.base, path, err)
+	}
+}
+
+func (rc *remoteClient) postRaw(path string, in any) (int, []byte) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := rc.hc.Post(rc.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("pgsearch: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		log.Fatalf("pgsearch: reading response from %s%s: %v", rc.base, path, err)
+	}
+	return resp.StatusCode, data
+}
+
+// fail reports a non-200 server answer and exits: 504 exits 3 like a
+// local -timeout expiry, everything else exits via log.Fatal (code 1).
+func (rc *remoteClient) fail(status int, data []byte) {
+	msg := strings.TrimSpace(string(data))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	if status == http.StatusGatewayTimeout {
+		fmt.Fprintf(os.Stderr, "pgsearch: %s\n", msg)
+		os.Exit(3)
+	}
+	log.Fatalf("pgsearch: server answered %d: %s", status, msg)
+}
+
+// runRemoteStream mirrors local -stream over /query/stream: the server's
+// match lines re-emit with the query index prepended, and each query ends
+// with the summary shape local mode prints (the server summary's sorted
+// answers are bitwise the local ones).
+func runRemoteStream(rc *remoteClient, cfg remoteConfig, qs []*probgraph.Graph) {
+	enc := json.NewEncoder(os.Stdout)
+	for i, q := range qs {
+		req := server.QueryRequest{
+			Graph:   server.GraphToJSON(q),
+			Epsilon: cfg.epsilon, Delta: cfg.delta, Verifier: cfg.verifier,
+			Plain: cfg.plain, Seed: probgraph.BatchSeed(cfg.seed, i),
+			Workers: cfg.workers, TimeoutMS: rc.timeoutMS,
+		}
+		start := time.Now()
+		body, err := json.Marshal(&req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := rc.hc.Post(rc.base+"/query/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("pgsearch: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			rc.fail(resp.StatusCode, data)
+		}
+		br := bufio.NewReader(resp.Body)
+		done := false
+		for !done {
+			raw, rerr := br.ReadBytes('\n')
+			if len(bytes.TrimSpace(raw)) > 0 {
+				// Probe the discriminators only: a match line's ssp is a
+				// number while the summary line's is a map, so the shapes
+				// decode separately below.
+				var line struct {
+					Done    bool   `json:"done"`
+					Error   string `json:"error"`
+					Timeout bool   `json:"timeout"`
+				}
+				if err := json.Unmarshal(raw, &line); err != nil {
+					resp.Body.Close()
+					log.Fatalf("pgsearch: undecodable stream line: %v", err)
+				}
+				switch {
+				case line.Error != "":
+					resp.Body.Close()
+					if line.Timeout {
+						fmt.Fprintf(os.Stderr, "pgsearch: %s\n", line.Error)
+						os.Exit(3)
+					}
+					log.Fatalf("pgsearch: %s", line.Error)
+				case line.Done:
+					var sum server.StreamSummaryJSON
+					if err := json.Unmarshal(raw, &sum); err != nil {
+						resp.Body.Close()
+						log.Fatalf("pgsearch: undecodable stream summary: %v", err)
+					}
+					if sum.Answers == nil {
+						sum.Answers = []int{}
+					}
+					if err := enc.Encode(streamSummaryJSON{
+						Query: i, Done: true, Answers: sum.Answers, Count: sum.Count,
+						TimeMS: float64(time.Since(start).Microseconds()) / 1000,
+					}); err != nil {
+						log.Fatal(err)
+					}
+					done = true
+				default:
+					var m server.StreamMatchJSON
+					if err := json.Unmarshal(raw, &m); err != nil {
+						resp.Body.Close()
+						log.Fatalf("pgsearch: undecodable stream line: %v", err)
+					}
+					if err := enc.Encode(streamMatchJSON{
+						Query: i, Graph: m.Graph, Name: m.Name, SSP: m.SSP,
+					}); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			if rerr != nil {
+				if !done {
+					resp.Body.Close()
+					log.Fatalf("pgsearch: stream from %s ended before summary: %v", rc.base, rerr)
+				}
+				break
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// printRemoteJSON prints the -json shape local mode prints, from wire
+// responses.
+func printRemoteJSON(qs []*probgraph.Graph, results []*server.QueryResponse, elapsed time.Duration) {
+	out := struct {
+		Results []queryJSON `json:"results"`
+		TimeMS  float64     `json:"time_ms"`
+	}{Results: []queryJSON{}, TimeMS: float64(elapsed.Microseconds()) / 1000}
+	for i, res := range results {
+		answers := res.Answers
+		if answers == nil {
+			answers = []int{}
+		}
+		names := res.Names
+		if names == nil {
+			names = []string{}
+		}
+		out.Results = append(out.Results, queryJSON{
+			Query: i, Edges: qs[i].NumEdges(),
+			Answers: answers, Names: names, SSP: res.SSP,
+			Pruned:   res.Stats.PrunedByUpper,
+			Accepted: res.Stats.AcceptedByLower,
+			Verified: res.Stats.VerifyCandidates,
+			TimeMS:   res.Stats.TimeTotalMS,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func msToDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond)
+}

@@ -17,6 +17,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -160,7 +161,8 @@ func parseListOutput(raw []byte) ([]listPkg, map[string]string, error) {
 // compiles anything stale), so repeat runs over an unchanged tree skip it
 // entirely. The key fingerprints everything that can change the answer:
 // toolchain version, resolved directory, patterns, and the name/size/mtime
-// of every .go, go.mod, and go.sum file under the directory. A hit is
+// of every .go, go.mod, and go.sum file under the directory and under the
+// root of every filesystem-path pattern (./..., ../...). A hit is
 // trusted only while every cached export-data file still exists (the build
 // cache may have been trimmed). PGVET_NOCACHE=1 disables the cache.
 func listPackagesCached(dir string, patterns ...string) ([]listPkg, map[string]string, bool, error) {
@@ -213,41 +215,77 @@ func exportsExist(exports map[string]string) bool {
 
 // listFingerprint hashes the inputs that determine `go list -export`
 // output for dir+patterns. Hidden, underscore, and testdata directories
-// are skipped — go list ignores them too.
+// are skipped — go list ignores them too. Filesystem-path patterns
+// (./..., ../...) resolve packages that may live outside dir, so their
+// roots are walked too: a file added under ../.. must invalidate a cache
+// entry keyed from a subdirectory.
 func listFingerprint(dir string, patterns []string) (string, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return "", err
 	}
+	roots := []string{abs}
+	for _, p := range patterns {
+		if p != "." && !strings.HasPrefix(p, "./") && !strings.HasPrefix(p, "..") {
+			continue // import-path pattern; resolves inside the module tree
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+		if base == "" {
+			base = "."
+		}
+		r, err := filepath.Abs(filepath.Join(abs, base))
+		if err != nil {
+			return "", err
+		}
+		roots = append(roots, r)
+	}
+	// Drop roots nested inside another root so no file hashes twice.
+	sort.Strings(roots)
+	walked := roots[:0]
+	for _, r := range roots {
+		nested := false
+		for _, k := range walked {
+			if r == k || strings.HasPrefix(r, k+string(filepath.Separator)) {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			walked = append(walked, r)
+		}
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s\x00%s\x00", runtime.Version(), abs, strings.Join(patterns, "\x00"))
-	err = filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		name := d.Name()
-		if d.IsDir() {
-			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-				return fs.SkipDir
+	for _, root := range walked {
+		fmt.Fprintf(h, "root:%s\x00", root)
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
 			}
+			name := d.Name()
+			if d.IsDir() {
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".go") && name != "go.mod" && name != "go.sum" {
+				return nil
+			}
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			rel, rerr := filepath.Rel(root, path)
+			if rerr != nil {
+				rel = path
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00%d\x00", rel, info.Size(), info.ModTime().UnixNano())
 			return nil
-		}
-		if !strings.HasSuffix(name, ".go") && name != "go.mod" && name != "go.sum" {
-			return nil
-		}
-		info, err := d.Info()
+		})
 		if err != nil {
-			return err
+			return "", err
 		}
-		rel, rerr := filepath.Rel(abs, path)
-		if rerr != nil {
-			rel = path
-		}
-		fmt.Fprintf(h, "%s\x00%d\x00%d\x00", rel, info.Size(), info.ModTime().UnixNano())
-		return nil
-	})
-	if err != nil {
-		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16], nil
 }

@@ -63,3 +63,44 @@ func TestLoadCacheHit(t *testing.T) {
 		t.Error("load after an edit reused stale cached metadata")
 	}
 }
+
+// TestLoadCachePatternOutsideDir pins the fingerprint's coverage of
+// filesystem-path patterns that resolve outside the load directory: a
+// file added at the module root must invalidate a cache entry keyed
+// from a subdirectory with a ../... pattern (the real-world shape is
+// `go test ./cmd/pgvet` running the suite over the whole repo).
+func TestLoadCachePatternOutsideDir(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(root, "go.mod"), "module cachefix\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(root, "a.go"), "package a\n\nfunc A() int { return 1 }\n")
+	writeFile(t, filepath.Join(sub, "sub.go"), "package sub\n\nfunc S() int { return 1 }\n")
+	t.Setenv("PGVET_NOCACHE", "")
+
+	if _, _, err := LoadWithStats(sub, "./...", "../..."); err != nil {
+		t.Fatalf("first load: %v", err)
+	}
+	_, stats, err := LoadWithStats(sub, "./...", "../...")
+	if err != nil {
+		t.Fatalf("second load: %v", err)
+	}
+	if !stats.CacheHit {
+		t.Error("second load over an unchanged tree did not hit the metadata cache")
+	}
+
+	// A brand-new file outside the load directory must miss the cache.
+	writeFile(t, filepath.Join(root, "b.go"), "package a\n\nfunc B() int { return 2 }\n")
+	_, stats, err = LoadWithStats(sub, "./...", "../...")
+	if err != nil {
+		t.Fatalf("third load: %v", err)
+	}
+	if stats.CacheHit {
+		t.Error("load after adding a file outside the load dir reused stale cached metadata")
+	}
+	if stats.Packages != 2 {
+		t.Errorf("loaded %d packages, want 2", stats.Packages)
+	}
+}

@@ -1,0 +1,164 @@
+// Package cluster is the coordinator side of distributed serving: it fans
+// T-PS queries out to a fleet of pgserve shards — each serving one
+// contiguous global-id range partition of the same database (see
+// core.PartitionRanges / SaveRange) — and merges the shard responses into
+// answers that are bitwise-identical to a single-node run over the full
+// database.
+//
+// The determinism contract stacks three layers:
+//
+//  1. Partition soundness (core.View.Range): the structural filter is
+//     exact, so a shard's candidate set is exactly the global candidate
+//     set intersected with its range, and the carried-over postings/PMI
+//     entries make every per-candidate decision on the shard bitwise
+//     equal to the full database's.
+//  2. Global-id seeding: every randomized per-candidate step seeds from
+//     the graph's global id, so a shard computes the very SSP estimate
+//     the single node computes for the same graph.
+//  3. Deterministic merges (this package): /query and /batch concatenate
+//     disjoint answer sets sorted by global id; /topk replays the serial
+//     early-termination rule over the merged bound schedules, fetching
+//     SSPs from the owning shards; /query/stream forwards shard match
+//     lines and re-derives the sorted summary.
+//
+// Failure semantics: a shard that cannot answer (down, timed out after
+// retries, wrong generation) fails the whole request with a structured
+// error naming the shard — never a silently partial answer. Client
+// cancellation propagates: every shard sub-request derives from the
+// incoming request's context.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"probgraph/internal/obs"
+)
+
+// Shard names one member of the fleet.
+type Shard struct {
+	Name string // label used in errors, metrics, and health reports
+	URL  string // base URL of the shard's pgserve (e.g. http://10.0.0.1:8091)
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards is the fleet, in partition order. At least one is required;
+	// names must be unique (empty names default to shard<i>).
+	Shards []Shard
+	// ShardTimeout bounds each attempt of one shard sub-request. 0 means
+	// no per-attempt bound — the request context (client deadline /
+	// disconnect) still applies.
+	ShardTimeout time.Duration
+	// Retries is how many times a failed shard sub-request is retried
+	// (transport errors only — an HTTP error status is an answer, not a
+	// flaky network). 0 selects the default (1); negative disables.
+	Retries int
+	// Metrics is the registry /metrics serves. nil creates a private one.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retries == 0 {
+		o.Retries = 1
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
+
+// Coordinator serves the pgserve query API over a fleet of range-partition
+// shards. It holds no graph data itself: every query endpoint validates
+// the request, fans it out over HTTP, and merges deterministically.
+type Coordinator struct {
+	shards []Shard
+	opt    Options
+	hc     *http.Client
+	health *healthTracker
+	mx     *coordMetrics
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a Coordinator over the given fleet.
+func New(opt Options) (*Coordinator, error) {
+	opt = opt.withDefaults()
+	if len(opt.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	shards := make([]Shard, len(opt.Shards))
+	seen := make(map[string]bool, len(opt.Shards))
+	for i, sh := range opt.Shards {
+		if sh.Name == "" {
+			sh.Name = fmt.Sprintf("shard%d", i)
+		}
+		if seen[sh.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		u, err := url.Parse(sh.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: shard %s: bad URL %q", sh.Name, sh.URL)
+		}
+		sh.URL = strings.TrimRight(sh.URL, "/")
+		shards[i] = sh
+	}
+	c := &Coordinator{
+		shards: shards,
+		opt:    opt,
+		// The zero-timeout client: per-request contexts carry the
+		// deadlines (ShardTimeout per attempt, the client's own deadline
+		// overall), so a stuck shard never wedges the coordinator.
+		hc:     &http.Client{},
+		health: newHealthTracker(shards),
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+	}
+	c.mx = newCoordMetrics(c, opt.Metrics)
+	c.mux.HandleFunc("/query", c.instrumented("query", c.handleQuery))
+	c.mux.HandleFunc("/query/stream", c.instrumented("stream", c.handleQueryStream))
+	c.mux.HandleFunc("/topk", c.instrumented("topk", c.handleTopK))
+	c.mux.HandleFunc("/batch", c.instrumented("batch", c.handleBatch))
+	c.mux.HandleFunc("/stats", c.handleStats)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	return c, nil
+}
+
+// Handler returns the HTTP handler serving the coordinator API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Registry returns the metrics registry rendered at /metrics.
+func (c *Coordinator) Registry() *obs.Registry { return c.opt.Metrics }
+
+// instrumented is the coordinator's observability middleware, mirroring
+// the single-node server's: a fresh trace rooted at the endpoint (shard
+// sub-requests attach child spans), the X-PG-Trace-Id header, and the
+// endpoint latency histogram.
+func (c *Coordinator) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tr := obs.NewTrace()
+		root := tr.Root(endpoint)
+		ctx := obs.ContextWithSpan(r.Context(), root)
+		w.Header().Set("X-PG-Trace-Id", tr.ID())
+		c.mx.queries[endpoint].Inc()
+		h(w, r.WithContext(ctx))
+		root.End()
+		c.mx.latency[endpoint].Observe(time.Since(start).Seconds())
+	}
+}
+
+// handleHealthz is the liveness probe: the coordinator process is up. It
+// does not touch the shards — /readyz does.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "shards": len(c.shards)})
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ShardHealthJSON is one shard's health record as /stats reports it.
+// Healthy flips false after a transport failure and back true on the next
+// successful exchange; an HTTP error status counts as success (the shard
+// answered). The record is fed by real fan-out traffic plus /readyz
+// probes — there is no background prober.
+type ShardHealthJSON struct {
+	Name                string  `json:"name"`
+	URL                 string  `json:"url"`
+	Healthy             bool    `json:"healthy"`
+	LastError           string  `json:"last_error,omitempty"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	Requests            int64   `json:"requests"`
+	Failures            int64   `json:"failures"`
+	LastChangeMSAgo     float64 `json:"last_change_ms_ago,omitempty"`
+}
+
+// healthTracker keeps per-shard health state, updated from fan-out
+// outcomes. One mutex guards the whole map: updates are a few field
+// writes on the request path's tail, far off any hot loop.
+type healthTracker struct {
+	mu sync.Mutex
+	m  map[string]*shardHealth
+}
+
+type shardHealth struct {
+	shard      Shard
+	healthy    bool
+	lastError  string
+	consec     int
+	requests   int64
+	failures   int64
+	lastChange time.Time
+}
+
+func newHealthTracker(shards []Shard) *healthTracker {
+	h := &healthTracker{m: make(map[string]*shardHealth, len(shards))}
+	for _, sh := range shards {
+		// Shards start healthy: the fleet is presumed serviceable until a
+		// request proves otherwise (readiness is /readyz's job).
+		h.m[sh.Name] = &shardHealth{shard: sh, healthy: true}
+	}
+	return h
+}
+
+func (h *healthTracker) record(name string, ok bool, errMsg string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.m[name]
+	if st == nil {
+		return
+	}
+	st.requests++
+	if ok {
+		if !st.healthy {
+			st.healthy = true
+			st.lastChange = time.Now()
+		}
+		st.consec = 0
+		return
+	}
+	st.failures++
+	st.consec++
+	st.lastError = errMsg
+	if st.healthy {
+		st.healthy = false
+		st.lastChange = time.Now()
+	}
+}
+
+// healthy reports a shard's current up/down view, for the pg_shard_up
+// gauge.
+func (h *healthTracker) healthy(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.m[name]
+	return st != nil && st.healthy
+}
+
+// snapshot returns every shard's record in fleet order.
+func (h *healthTracker) snapshot(order []Shard) []ShardHealthJSON {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ShardHealthJSON, 0, len(order))
+	for _, sh := range order {
+		st := h.m[sh.Name]
+		rec := ShardHealthJSON{
+			Name: sh.Name, URL: sh.URL,
+			Healthy:             st.healthy,
+			LastError:           st.lastError,
+			ConsecutiveFailures: st.consec,
+			Requests:            st.requests,
+			Failures:            st.failures,
+		}
+		if !st.lastChange.IsZero() {
+			rec.LastChangeMSAgo = float64(time.Since(st.lastChange).Microseconds()) / 1000
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// handleReadyz is the coordinator readiness probe: every shard's /readyz
+// must answer 200 within the probe timeout. 503 names the shards that
+// are not ready — an orchestrator holds traffic until the whole fleet
+// can answer, because any missing shard would fail every query anyway.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	timeout := c.opt.ShardTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	type probe struct {
+		name string
+		err  error
+	}
+	results := make([]probe, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			results[i] = probe{name: sh.Name, err: c.probeReady(ctx, sh)}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var failed []string
+	for _, p := range results {
+		if p.err != nil {
+			failed = append(failed, p.name)
+		}
+	}
+	if len(failed) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeReadyz(w, false, len(c.shards), failed)
+		return
+	}
+	writeReadyz(w, true, len(c.shards), nil)
+}
+
+func writeReadyz(w http.ResponseWriter, ready bool, shards int, failed []string) {
+	out := map[string]any{"ready": ready, "shards": shards}
+	if len(failed) > 0 {
+		out["failed"] = failed
+	}
+	writeJSON(w, out)
+}
+
+// probeReady GETs one shard's /readyz. The outcome feeds the health
+// tracker like any other exchange.
+func (c *Coordinator) probeReady(ctx context.Context, sh Shard) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.URL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.health.record(sh.Name, false, err.Error())
+		return err
+	}
+	resp.Body.Close()
+	c.health.record(sh.Name, true, "")
+	if resp.StatusCode != http.StatusOK {
+		return errNotReady
+	}
+	return nil
+}
+
+// handleStats reports the coordinator's own counters plus every shard's
+// health record.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"shards":    c.health.snapshot(c.shards),
+		"queries":   c.mx.totalQueries(),
+		"uptime_ms": float64(time.Since(c.start).Microseconds()) / 1000,
+	})
+}

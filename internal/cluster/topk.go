@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"probgraph/internal/server"
+)
+
+// schedEntry is one slot of the merged distributed top-k verification
+// schedule: a candidate identified by global id, the upper bound its
+// owning shard computed (bitwise the single-node bound, because bounds
+// seed from the global id), and which shard to fetch its SSP from.
+type schedEntry struct {
+	gid   int
+	name  string
+	upper float64
+	shard int // index into c.shards
+}
+
+// handleTopK is POST /topk, distributed: fan out to /topk/bounds, merge
+// the shard schedules into the single-node verification order (Upper
+// descending, global id ascending — bounds are bitwise-equal across the
+// partition, so the merged schedule IS the single-node schedule), then
+// replay the serial early-termination rule, fetching SSPs from each
+// candidate's owning shard via /topk/verify. SSP fetches are batched a
+// window ahead as prefetch; per-candidate SSPs are deterministic, so
+// overfetch past the serial cutoff wastes work but never changes the
+// answer. The result is bitwise-identical to single-node QueryTopK.
+func (c *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	if _, err := req.Check(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	body, err := json.Marshal(&req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	results := c.fanout(r.Context(), "/topk/bounds", body)
+	if ce := shardFailure(results); ce != nil {
+		ce.write(w)
+		return
+	}
+	bounds := make([]*server.TopKBoundsResponse, len(results))
+	gens := make([]uint64, len(results))
+	for i, res := range results {
+		var br server.TopKBoundsResponse
+		if err := json.Unmarshal(res.body, &br); err != nil {
+			badShardResponse(w, res.shard)
+			return
+		}
+		bounds[i] = &br
+		gens[i] = br.Generation
+	}
+	if ce := generationMismatch(results, gens); ce != nil {
+		ce.write(w)
+		return
+	}
+	for i := 1; i < len(bounds); i++ {
+		// Degeneracy (δ ≥ |E(q)|) depends only on the query and options
+		// every shard received identically; disagreement means the fleet
+		// is not running the same code.
+		if bounds[i].Degenerate != bounds[0].Degenerate {
+			badShardResponse(w, results[i].shard)
+			return
+		}
+	}
+
+	var items []server.TopKItemJSON
+	if bounds[0].Degenerate {
+		items = mergeDegenerate(bounds, req.K)
+	} else {
+		sched := mergeSchedules(bounds)
+		items, err = c.replayTopK(r.Context(), &req, sched)
+		if err != nil {
+			if ce, ok := err.(*coordError); ok {
+				ce.write(w)
+			} else {
+				httpError(w, http.StatusBadGateway, "%v", err)
+			}
+			return
+		}
+	}
+	resp := &server.TopKResponse{
+		Items:      items,
+		Generation: gens[0],
+		TimeMS:     float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if traceWanted(r, req.Trace) {
+		resp.Trace = traceTree(r)
+	}
+	writeJSON(w, resp)
+}
+
+// mergeDegenerate handles δ ≥ |E(q)|: every live graph matches with SSP 1
+// and the single node returns the first k live slots. Each shard reported
+// its first k live global ids; the fleet's first k are the k smallest.
+func mergeDegenerate(bounds []*server.TopKBoundsResponse, k int) []server.TopKItemJSON {
+	var all []server.TopKItemJSON
+	for _, br := range bounds {
+		for _, b := range br.Bounds {
+			all = append(all, server.TopKItemJSON{Graph: b.Graph, Name: b.Name, SSP: 1})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Graph < all[j].Graph })
+	if len(all) > k {
+		all = all[:k]
+	}
+	if all == nil {
+		all = []server.TopKItemJSON{}
+	}
+	return all
+}
+
+// mergeSchedules folds per-shard bound schedules into the global one,
+// sorted in the serial verification order: Upper descending, global id
+// ascending. Candidate sets are disjoint across shards and each shard's
+// bounds are bitwise the single node's, so this is exactly the schedule
+// a single node would verify in.
+func mergeSchedules(bounds []*server.TopKBoundsResponse) []schedEntry {
+	var sched []schedEntry
+	for si, br := range bounds {
+		for _, b := range br.Bounds {
+			sched = append(sched, schedEntry{gid: b.Graph, name: b.Name, upper: b.Upper, shard: si})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].upper != sched[j].upper {
+			return sched[i].upper > sched[j].upper
+		}
+		return sched[i].gid < sched[j].gid
+	})
+	return sched
+}
+
+// replayTopK walks the merged schedule exactly as the serial single-node
+// commit loop does: before considering candidate i, stop if the top holds
+// k entries and cands[i].Upper cannot beat the k-th best SSP; otherwise
+// verify it (the owning shard recomputes the global-id-seeded SSP) and
+// insert when positive, ranked SSP descending / global id ascending,
+// truncated to k. SSPs are fetched in look-ahead batches grouped by
+// owning shard; entries past the serial stop point are simply discarded.
+func (c *Coordinator) replayTopK(ctx context.Context, req *server.QueryRequest, sched []schedEntry) ([]server.TopKItemJSON, error) {
+	k := req.K
+	batch := k
+	if batch < 8 {
+		batch = 8
+	}
+	top := make([]server.TopKItemJSON, 0, k+1)
+	kthBest := func() float64 {
+		if len(top) < k {
+			return 0
+		}
+		return top[len(top)-1].SSP
+	}
+	ssps := make(map[int]float64, len(sched))
+	fetched := make(map[int]bool, len(sched))
+	for i := 0; i < len(sched); i++ {
+		e := sched[i]
+		if len(top) >= k && e.upper <= kthBest() {
+			break
+		}
+		if !fetched[e.gid] {
+			hi := i + batch
+			if hi > len(sched) {
+				hi = len(sched)
+			}
+			if err := c.fetchSSPs(ctx, req, sched[i:hi], ssps, fetched); err != nil {
+				return nil, err
+			}
+		}
+		if ssp := ssps[e.gid]; ssp > 0 {
+			top = insertTop(top, server.TopKItemJSON{Graph: e.gid, Name: e.name, SSP: ssp}, k)
+		}
+	}
+	return top, nil
+}
+
+// insertTop mirrors core.insertTopK over wire items: ranked SSP
+// descending, global id ascending on ties, truncated to k.
+func insertTop(top []server.TopKItemJSON, item server.TopKItemJSON, k int) []server.TopKItemJSON {
+	pos := len(top)
+	for pos > 0 && (top[pos-1].SSP < item.SSP ||
+		(top[pos-1].SSP == item.SSP && top[pos-1].Graph > item.Graph)) {
+		pos--
+	}
+	top = append(top, server.TopKItemJSON{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = item
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// fetchSSPs verifies one look-ahead window of schedule entries: global
+// ids are grouped by owning shard and each shard verifies its group in
+// one /topk/verify call, concurrently. Results land in ssps; fetched
+// marks every id attempted so the replay loop never re-requests a
+// candidate whose SSP verified to 0 (absent from the response map).
+func (c *Coordinator) fetchSSPs(ctx context.Context, req *server.QueryRequest, window []schedEntry, ssps map[int]float64, fetched map[int]bool) error {
+	byShard := make(map[int][]int)
+	for _, e := range window {
+		if fetched[e.gid] {
+			continue
+		}
+		fetched[e.gid] = true
+		byShard[e.shard] = append(byShard[e.shard], e.gid)
+	}
+	if len(byShard) == 0 {
+		return nil
+	}
+	// Deterministic sub-request order: fleet order, ids ascending.
+	shardIdx := make([]int, 0, len(byShard))
+	for si := range byShard {
+		sort.Ints(byShard[si])
+		shardIdx = append(shardIdx, si)
+	}
+	sort.Ints(shardIdx)
+
+	results := make([]shardResult, len(shardIdx))
+	var wg sync.WaitGroup
+	for oi, si := range shardIdx {
+		vreq := server.TopKVerifyRequest{QueryRequest: *req, Graphs: byShard[si]}
+		body, err := json.Marshal(&vreq)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(oi, si int, body []byte) {
+			defer wg.Done()
+			results[oi] = c.call(ctx, c.shards[si], "/topk/verify", body)
+		}(oi, si, body)
+	}
+	wg.Wait()
+	if ce := shardFailure(results); ce != nil {
+		return ce
+	}
+	for _, res := range results {
+		var vr server.TopKVerifyResponse
+		if err := json.Unmarshal(res.body, &vr); err != nil {
+			return &coordError{
+				status: http.StatusBadGateway, shard: res.shard.Name,
+				msg: "shard " + res.shard.Name + ": undecodable response",
+			}
+		}
+		for gid, ssp := range vr.SSP {
+			ssps[gid] = ssp
+		}
+	}
+	return nil
+}

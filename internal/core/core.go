@@ -101,6 +101,16 @@ type View struct {
 	// liveCount counts them.
 	live      []bool
 	liveCount int
+
+	// gids maps this view's slots to the global graph ids of the
+	// database it was partitioned from (nil = identity: slot i is global
+	// id i). Range views (View.Range, Database.Partition, SaveRange) set
+	// it so per-candidate query seeding — and therefore every verdict and
+	// SSP estimate — is computed from the global id, which is what makes
+	// a sharded evaluation bitwise-identical to the full database's.
+	// Views with a non-nil gids are read-only: mutations would desync the
+	// map (see ErrPartitioned).
+	gids []int
 }
 
 // Len returns the number of slots, tombstoned ones included — the
@@ -118,6 +128,48 @@ func (v *View) Live(gi int) bool { return v.live == nil || v.live[gi] }
 
 // Options returns the build options the database was constructed with.
 func (v *View) Options() BuildOptions { return v.opt }
+
+// Partitioned reports whether this view is a range partition of a larger
+// database (built by Range / Partition / a SaveRange snapshot). Partitioned
+// views are read-only.
+func (v *View) Partitioned() bool { return v.gids != nil }
+
+// GID translates slot gi of this view to its global graph id: the slot it
+// occupied in the database the view was partitioned from. For ordinary
+// (non-partitioned) views it is the identity. All per-candidate seeding
+// routes through GID, which is what keeps a partition's verdicts and SSP
+// estimates bitwise-identical to the full database's.
+func (v *View) GID(gi int) int {
+	if v.gids == nil {
+		return gi
+	}
+	return v.gids[gi]
+}
+
+// LocalOf translates a global graph id back to this view's slot, or -1
+// when the id is not held by this partition. For ordinary views it is the
+// identity (bounded by Len).
+func (v *View) LocalOf(global int) int {
+	if v.gids == nil {
+		if global < 0 || global >= len(v.Graphs) {
+			return -1
+		}
+		return global
+	}
+	lo, hi := 0, len(v.gids) // gids is strictly ascending: binary search
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.gids[mid] < global {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.gids) && v.gids[lo] == global {
+		return lo
+	}
+	return -1
+}
 
 // Database is an indexed probabilistic graph database ready for T-PS
 // queries. It holds the current View behind an atomic pointer; queries pin
@@ -250,6 +302,22 @@ func (db *Database) CompactThreshold() float64 {
 // it to a not-found response, distinct from evaluation failures.
 var ErrNoSuchGraph = errors.New("no such graph")
 
+// ErrPartitioned marks mutations attempted on a partitioned database (one
+// loaded from a SaveRange snapshot or built by Partition). Partitions are
+// read-only serving replicas: a local mutation would desynchronize the
+// global-id map — and with it the seeding contract that keeps shard
+// answers bitwise-identical to the full database — so the owner of the
+// full database must mutate and re-partition instead.
+var ErrPartitioned = errors.New("database is a read-only partition")
+
+// checkMutable rejects mutations on partitioned views. Caller holds db.mu.
+func (db *Database) checkMutable() error {
+	if db.cur.Load().Partitioned() {
+		return fmt.Errorf("core: %w", ErrPartitioned)
+	}
+	return nil
+}
+
 // Mutation describes one committed mutation: the slot it targeted (or
 // created), the generation transition, the resulting shape, and whether
 // the mutation triggered auto-compaction (renumbering graph indices).
@@ -303,6 +371,9 @@ func (db *Database) AddGraphInfo(pg *prob.PGraph) (Mutation, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkMutable(); err != nil {
+		return Mutation{}, err
+	}
 	v := db.cur.Load()
 	nv := *v
 	if v.PMI != nil {
@@ -346,6 +417,9 @@ func (db *Database) RemoveGraph(id int) (uint64, error) {
 func (db *Database) RemoveGraphInfo(id int) (Mutation, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkMutable(); err != nil {
+		return Mutation{}, err
+	}
 	v := db.cur.Load()
 	if err := v.checkLive(id, "removing"); err != nil {
 		return Mutation{}, err
@@ -396,6 +470,9 @@ func (db *Database) ReplaceGraphInfo(id int, pg *prob.PGraph) (Mutation, error) 
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkMutable(); err != nil {
+		return Mutation{}, err
+	}
 	v := db.cur.Load()
 	if err := v.checkLive(id, "replacing"); err != nil {
 		return Mutation{}, err
@@ -433,6 +510,9 @@ func (db *Database) ReplaceGraphInfo(id int, pg *prob.PGraph) (Mutation, error) 
 func (db *Database) Compact() (uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkMutable(); err != nil {
+		return 0, err
+	}
 	v := db.cur.Load()
 	if v.Tombstones() == 0 {
 		return v.Generation, nil
@@ -550,6 +630,9 @@ func cloneWith[T any](xs []T, i int, x T) []T {
 func (db *Database) AttachPMI(idx *pmi.Index) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkMutable(); err != nil {
+		return err
+	}
 	v := db.cur.Load()
 	for fi := range idx.Entries {
 		if len(idx.Entries[fi]) != len(v.Graphs) {

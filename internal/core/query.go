@@ -202,7 +202,7 @@ func (v *View) evalCandidate(q *graph.Graph, u []*graph.Graph, pr *pruner, gi in
 	var o candOutcome
 	if pr != nil {
 		t := time.Now()
-		sc := getScratch(candSeed(opt.Seed^pruneSalt, gi))
+		sc := getScratch(candSeed(opt.Seed^pruneSalt, v.GID(gi)))
 		o.verdict = pr.judge(gi, sc)
 		putScratch(sc)
 		o.probT = time.Since(t)
@@ -381,7 +381,7 @@ func (v *View) VerifySSP(q *graph.Graph, u []*graph.Graph, gi int, opt QueryOpti
 		return verify.Exact(eng, clauses, opt.Verify.MaxClauses)
 	default:
 		vo := opt.Verify
-		vo.Seed = candSeed(opt.Seed^verifySalt, gi)
+		vo.Seed = candSeed(opt.Seed^verifySalt, v.GID(gi))
 		return verify.SMP(eng, clauses, vo)
 	}
 }

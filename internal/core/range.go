@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"probgraph/internal/feature"
+	"probgraph/internal/prob"
+)
+
+// Range builds the partition of this view holding global ids [lo, hi):
+// the live graphs of that slot range, renumbered contiguously, with the
+// structural postings and PMI columns restricted to them and the full
+// mined feature vocabulary carried over (supports remapped). The
+// partition remembers each slot's global id, and all per-candidate query
+// seeding routes through that map — so a query evaluated on the partition
+// returns, for every graph it holds, exactly the verdict and SSP the full
+// database computes for the same graph, bitwise. That is the contract a
+// sharded cluster's merge relies on.
+//
+// The partition keeps the source view's generation (shards of the same
+// database report the same generation, which is how a coordinator detects
+// a mixed fleet). Tombstoned slots inside [lo, hi) are dropped — their
+// global ids simply don't appear in the partition. A range with no live
+// slots is an error, as is partitioning a partition.
+func (v *View) Range(lo, hi int) (*View, error) {
+	if v.gids != nil {
+		return nil, fmt.Errorf("core: range [%d,%d): %w", lo, hi, ErrPartitioned)
+	}
+	if lo < 0 || hi > v.Len() || lo >= hi {
+		return nil, fmt.Errorf("core: range [%d,%d) out of bounds [0,%d)", lo, hi, v.Len())
+	}
+	nv := &View{
+		Generation: v.Generation,
+		opt:        v.opt,
+		Build:      v.Build,
+	}
+	// remap: old slot → partition slot, -1 when outside the range or
+	// tombstoned. Same shape as compactView, plus the range restriction.
+	remap := make([]int, v.Len())
+	var dead []int
+	for gi := range v.Graphs {
+		if gi < lo || gi >= hi || !v.Live(gi) {
+			remap[gi] = -1
+			dead = append(dead, gi)
+			continue
+		}
+		remap[gi] = len(nv.Graphs)
+		nv.Graphs = append(nv.Graphs, v.Graphs[gi])
+		nv.Engines = append(nv.Engines, v.Engines[gi])
+		nv.Certain = append(nv.Certain, v.Certain[gi])
+		nv.gids = append(nv.gids, gi)
+	}
+	if len(nv.Graphs) == 0 {
+		return nil, fmt.Errorf("core: range [%d,%d) holds no live graphs", lo, hi)
+	}
+	nv.liveCount = len(nv.Graphs)
+	nv.Features = make([]*feature.Feature, len(v.Features))
+	for i, f := range v.Features {
+		cp := *f
+		cp.Support = nil
+		for _, gi := range f.Support {
+			if gi < len(remap) && remap[gi] >= 0 {
+				cp.Support = append(cp.Support, remap[gi])
+			}
+		}
+		nv.Features[i] = &cp
+	}
+	if v.engLazy != nil {
+		nv.engLazy = make([]atomic.Pointer[prob.Engine], len(nv.Graphs))
+		for gi, ni := range remap {
+			if ni >= 0 && nv.Engines[ni] == nil && gi < len(v.engLazy) {
+				if e := v.engLazy[gi].Load(); e != nil {
+					nv.engLazy[ni].Store(e)
+				}
+			}
+		}
+	}
+	// Masking every out-of-partition slot and compacting restricts the
+	// indices to the partition's graphs while keeping the full feature
+	// vocabulary — postings rows and PMI bound entries for the survivors
+	// are carried over bitwise, so shard-side pruning decisions match the
+	// full database's.
+	if v.Struct != nil {
+		nv.Struct = v.Struct.WithTombstones(dead).Compacted()
+	}
+	if v.PMI != nil {
+		nv.PMI = v.PMI.WithMaskedColumns(dead).CompactedColumns()
+		nv.Build.IndexSizeBytes = nv.PMI.SizeBytes()
+	}
+	return nv, nil
+}
+
+// Partition wraps View.Range in a Database, ready to serve. The database
+// is read-only (see ErrPartitioned).
+func (db *Database) Partition(lo, hi int) (*Database, error) {
+	pv, err := db.View().Range(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return newFromView(pv), nil
+}
+
+// SaveRange writes the partition holding global ids [lo, hi) as a
+// snapshot in the given format. Loading it (LoadDatabase / OpenSnapshot)
+// yields a read-only partition whose queries are bitwise-identical to the
+// full database's for the graphs it holds — the shard bootstrap path of a
+// distributed deployment.
+func (v *View) SaveRange(w io.Writer, lo, hi int, format SnapshotFormat) error {
+	pv, err := v.Range(lo, hi)
+	if err != nil {
+		return err
+	}
+	return pv.SaveAs(w, format)
+}
+
+// SaveRange writes a range partition of the current view; see
+// View.SaveRange.
+func (db *Database) SaveRange(w io.Writer, lo, hi int, format SnapshotFormat) error {
+	return db.View().SaveRange(w, lo, hi, format)
+}
+
+// SaveRangeFile atomically writes a range partition of the current view
+// to path; see View.SaveRange and View.SaveFile.
+func (db *Database) SaveRangeFile(path string, lo, hi int, format SnapshotFormat) error {
+	pv, err := db.View().Range(lo, hi)
+	if err != nil {
+		return err
+	}
+	return pv.SaveFile(path, format)
+}
+
+// PartitionRanges splits n slots into the given number of contiguous
+// [lo, hi) ranges, as evenly as possible (earlier ranges take the
+// remainder). This is the canonical cluster partition rule: every slot
+// lands in exactly one range, in order. shards must be in [1, n].
+func PartitionRanges(n, shards int) ([][2]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: partitioning empty database")
+	}
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("core: shard count %d out of range [1,%d]", shards, n)
+	}
+	out := make([][2]int, 0, shards)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out, nil
+}

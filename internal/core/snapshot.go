@@ -95,6 +95,17 @@ func (v *View) Save(w io.Writer) error {
 		fmt.Fprintln(bw)
 	}
 
+	// Range partitions (SaveRange) persist their slot→global-id map; the
+	// line is absent for ordinary snapshots, keeping them byte-identical
+	// to what earlier writers produced.
+	if v.gids != nil {
+		fmt.Fprintf(bw, "gids %d", len(v.gids))
+		for _, g := range v.gids {
+			fmt.Fprintf(bw, " %d", g)
+		}
+		fmt.Fprintln(bw)
+	}
+
 	fmt.Fprintf(bw, "graphs %d\n", len(v.Graphs))
 	for _, pg := range v.Graphs {
 		if err := dataset.EncodePGraph(bw, pg, 0); err != nil {
@@ -218,9 +229,35 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if strings.HasPrefix(line, "gids ") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("core: snapshot: bad gids line %q", line)
+		}
+		ng, convErr := strconv.Atoi(fields[1])
+		if convErr != nil || len(fields) != 2+ng {
+			return nil, fmt.Errorf("core: snapshot: bad gids line %q", line)
+		}
+		gids := make([]int, ng)
+		for k, tok := range fields[2:] {
+			g, err := strconv.Atoi(tok)
+			if err != nil || g < 0 || (k > 0 && g <= gids[k-1]) {
+				return nil, fmt.Errorf("core: snapshot: bad global id %q (ids must be non-negative and strictly ascending)", tok)
+			}
+			gids[k] = g
+		}
+		v.gids = gids
+		line, err = snapLine(sc)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var n int
 	if _, err := fmt.Sscanf(line, "graphs %d", &n); err != nil {
 		return nil, fmt.Errorf("core: snapshot: bad graphs header %q", line)
+	}
+	if v.gids != nil && len(v.gids) != n {
+		return nil, fmt.Errorf("core: snapshot: gids count %d != graphs %d", len(v.gids), n)
 	}
 	dec := dataset.NewPGraphDecoderFromScanner(sc)
 	for gi := 0; gi < n; gi++ {

@@ -29,6 +29,7 @@ import (
 //	secFeatures    u32 nf; per feature an i32 support slab + graph record
 //	secStruct      simsearch binary section (absent when Struct is nil)
 //	secPMI         pmi binary section (absent when PMI is nil)
+//	secGIDs        i32 slab of slot→global-id map (range partitions only)
 //
 // Float payloads are stored as raw IEEE-754 bits, so the bitwise
 // determinism contract holds across the round trip by construction —
@@ -40,6 +41,7 @@ const (
 	secFeatures   = 4
 	secStruct     = 5
 	secPMI        = 6
+	secGIDs       = 7
 )
 
 // SaveBinary writes the database's current view as a pgsnap v4 binary
@@ -91,6 +93,13 @@ func (v *View) SaveBinary(w io.Writer) error {
 	}
 	if v.PMI != nil {
 		v.PMI.EncodeBinary(bw.Section(secPMI))
+	}
+	if v.gids != nil {
+		gids32 := make([]int32, len(v.gids))
+		for i, g := range v.gids {
+			gids32[i] = int32(g)
+		}
+		bw.Section(secGIDs).I32s(gids32)
 	}
 
 	_, err = bw.WriteTo(w)
@@ -210,6 +219,25 @@ func loadBinarySnapshot(data []byte) (*Database, error) {
 		idx.Opt = v.opt.PMI
 		v.PMI = idx.WithMaskedColumns(tombs)
 		v.Build.IndexSizeBytes = v.PMI.SizeBytes()
+	}
+
+	if sec, ok = snap.Section(secGIDs); ok {
+		c = snapbin.NewCursor(sec)
+		gids32 := c.I32s()
+		if c.Err() != nil {
+			return nil, fmt.Errorf("core: snapshot gids: %w", c.Err())
+		}
+		if len(gids32) != n {
+			return nil, fmt.Errorf("core: snapshot: gids count %d != graphs %d", len(gids32), n)
+		}
+		gids := make([]int, n)
+		for k, g := range gids32 {
+			if g < 0 || (k > 0 && int(g) <= gids[k-1]) {
+				return nil, fmt.Errorf("core: snapshot: bad global id %d (ids must be non-negative and strictly ascending)", g)
+			}
+			gids[k] = int(g)
+		}
+		v.gids = gids
 	}
 
 	v.liveCount = n

@@ -75,62 +75,14 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 		}
 		return out, nil
 	}
-	parent := obs.SpanFrom(ctx)
-	sp := parent.Child("struct_filter")
-	scq, _, err := v.Struct.SCqCtx(obs.ContextWithSpan(ctx, sp), q, opt.Delta, opt.Concurrency)
-	sp.EndCount(int64(len(scq)))
+	cands, u, err := v.topkSchedule(ctx, q, opt)
 	if err != nil {
 		return nil, err
 	}
-	if len(scq) == 0 {
+	if len(cands) == 0 {
 		return nil, nil
 	}
-	sp = parent.Child("relax")
-	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
-	sp.EndCount(int64(len(u)))
-	workers := normalizeWorkers(opt.Concurrency, len(scq))
-
-	// Upper bounds order the verification schedule. Each candidate's bound
-	// draws from its own candSeed-derived rng, so the schedule is the same
-	// at any worker count.
-	type cand struct {
-		gi    int
-		upper float64
-	}
-	cands := make([]cand, len(scq))
-	if v.PMI != nil {
-		sp = parent.Child("bounds")
-		pr, err := v.newPruner(ctx, u, opt, nil)
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
-			gi := scq[i]
-			sc := getScratch(candSeed(opt.Seed^pruneSalt, gi))
-			sc.entries = v.PMI.LookupInto(gi, sc.entries[:0])
-			ub := pr.upperBound(sc.entries, sc)
-			putScratch(sc)
-			if ub > 1 {
-				ub = 1
-			}
-			cands[i] = cand{gi, ub}
-		})
-		sp.EndCount(int64(len(scq)))
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		for i, gi := range scq {
-			cands[i] = cand{gi, 1}
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].upper != cands[j].upper {
-			return cands[i].upper > cands[j].upper
-		}
-		return cands[i].gi < cands[j].gi
-	})
+	workers := normalizeWorkers(opt.Concurrency, len(cands))
 
 	// Verification with bound-based early termination. Workers verify
 	// candidates speculatively in schedule order; a sequential commit
@@ -197,7 +149,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 	commit := func() {
 		for !stopped && firstErr == nil && ctxErr == nil && committed < n {
 			c := cands[committed]
-			if len(top) >= k && c.upper <= kthBest() {
+			if len(top) >= k && c.Upper <= kthBest() {
 				stopped = true
 				break
 			}
@@ -205,11 +157,11 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 				break
 			}
 			if errs[committed] != nil {
-				firstErr = fmt.Errorf("core: verifying graph %d: %w", c.gi, errs[committed])
+				firstErr = fmt.Errorf("core: verifying graph %d: %w", c.Graph, errs[committed])
 				break
 			}
 			if ssp := ssps[committed]; ssp > 0 {
-				top = insertTopK(top, TopKItem{Graph: c.gi, SSP: ssp}, k)
+				top = insertTopK(top, TopKItem{Graph: c.Graph, SSP: ssp}, k)
 			}
 			committed++
 		}
@@ -228,7 +180,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 			next++
 			mu.Unlock()
 
-			ssp, err := v.VerifySSP(q, u, cands[i].gi, opt)
+			ssp, err := v.VerifySSP(q, u, cands[i].Graph, opt)
 
 			mu.Lock()
 			ssps[i], errs[i], done[i] = ssp, err, true
@@ -237,7 +189,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, q *graph.Graph, k int, opt Quer
 			mu.Unlock()
 		}
 	}
-	sp = parent.Child("topk_commit")
+	sp := obs.SpanFrom(ctx).Child("topk_commit")
 	if workers <= 1 {
 		verifyWorker()
 	} else {
@@ -288,6 +240,147 @@ func insertTopK(top []TopKItem, item TopKItem, k int) []TopKItem {
 		top = top[:k]
 	}
 	return top
+}
+
+// TopKBound is one entry of the top-k verification schedule: a structural
+// candidate slot and its clamped SSP upper bound. The schedule is sorted
+// Upper descending, slot ascending — the order the serial top-k algorithm
+// verifies in.
+type TopKBound struct {
+	Graph int     // database slot index
+	Upper float64 // SSP upper bound, clamped to 1
+}
+
+// topkSchedule computes the top-k verification schedule for q: the
+// structural candidate set, each candidate's upper bound (seeded from its
+// global id, so partitions agree bitwise with the full database), sorted
+// by the serial verification order. It also returns the relaxed query set
+// the verification phase needs. An empty candidate set returns (nil, u,
+// nil). Spans attach under the context's span as in Query.
+func (v *View) topkSchedule(ctx context.Context, q *graph.Graph, opt QueryOptions) ([]TopKBound, []*graph.Graph, error) {
+	parent := obs.SpanFrom(ctx)
+	sp := parent.Child("struct_filter")
+	scq, _, err := v.Struct.SCqCtx(obs.ContextWithSpan(ctx, sp), q, opt.Delta, opt.Concurrency)
+	sp.EndCount(int64(len(scq)))
+	if err != nil {
+		return nil, nil, err
+	}
+	sp = parent.Child("relax")
+	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	sp.EndCount(int64(len(u)))
+	if len(scq) == 0 {
+		return nil, u, nil
+	}
+	workers := normalizeWorkers(opt.Concurrency, len(scq))
+
+	// Upper bounds order the verification schedule. Each candidate's bound
+	// draws from its own candSeed-derived rng, so the schedule is the same
+	// at any worker count.
+	cands := make([]TopKBound, len(scq))
+	if v.PMI != nil {
+		sp = parent.Child("bounds")
+		pr, err := v.newPruner(ctx, u, opt, nil)
+		if err != nil {
+			sp.End()
+			return nil, nil, err
+		}
+		err = forEachIndexCtx(ctx, len(scq), workers, func(i int) {
+			gi := scq[i]
+			sc := getScratch(candSeed(opt.Seed^pruneSalt, v.GID(gi)))
+			sc.entries = v.PMI.LookupInto(gi, sc.entries[:0])
+			ub := pr.upperBound(sc.entries, sc)
+			putScratch(sc)
+			if ub > 1 {
+				ub = 1
+			}
+			cands[i] = TopKBound{Graph: gi, Upper: ub}
+		})
+		sp.EndCount(int64(len(scq)))
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		for i, gi := range scq {
+			cands[i] = TopKBound{Graph: gi, Upper: 1}
+		}
+	}
+	// Slot ascending breaks upper-bound ties. On a partition, slots are in
+	// global-id order, so merging shard schedules by (Upper desc, global
+	// id asc) reproduces exactly this order over the union.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Upper != cands[j].Upper {
+			return cands[i].Upper > cands[j].Upper
+		}
+		return cands[i].Graph < cands[j].Graph
+	})
+	return cands, u, nil
+}
+
+// QueryTopKBounds computes the top-k verification schedule without
+// verifying anything: the ranked candidate slots with their upper bounds,
+// sorted in serial verification order (Upper descending, slot ascending).
+// A distributed coordinator calls this on every shard, merges the
+// schedules by (Upper, global id), and replays the serial early-
+// termination rule over the union — fetching SSPs via VerifySSPBatch —
+// to reproduce QueryTopK bitwise.
+//
+// The degenerate return (δ ≥ |E(q)|, where every live graph matches with
+// SSP 1) lists the first k live slots with Upper 1 and degenerate=true;
+// no verification is needed for them.
+func (v *View) QueryTopKBounds(ctx context.Context, q *graph.Graph, k int, opt QueryOptions) (bounds []TopKBound, degenerate bool, err error) {
+	opt = opt.withDefaults()
+	if k <= 0 {
+		return nil, false, fmt.Errorf("core: k must be positive")
+	}
+	if opt.Delta < 0 {
+		return nil, false, fmt.Errorf("core: negative delta")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if opt.Delta >= q.NumEdges() {
+		out := make([]TopKBound, 0, k)
+		for gi := 0; gi < v.Len() && len(out) < k; gi++ {
+			if !v.Live(gi) {
+				continue
+			}
+			out = append(out, TopKBound{Graph: gi, Upper: 1})
+		}
+		return out, true, nil
+	}
+	cands, _, err := v.topkSchedule(ctx, q, opt)
+	return cands, false, err
+}
+
+// VerifySSPBatch verifies the SSP of q against each of the given slots on
+// the worker pool, returning the estimates in input order. The relaxed
+// query set is derived internally (as Query and QueryTopK derive it), and
+// each slot's estimate seeds from its global id alone — the same value
+// VerifySSP returns, independent of batching, order, or worker count.
+func (v *View) VerifySSPBatch(ctx context.Context, q *graph.Graph, gis []int, opt QueryOptions) ([]float64, error) {
+	opt = opt.withDefaults()
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: negative delta")
+	}
+	if len(gis) == 0 {
+		return nil, nil
+	}
+	u := relax.Relaxed(q, opt.Delta, opt.MaxRelaxed)
+	out := make([]float64, len(gis))
+	errs := make([]error, len(gis))
+	workers := normalizeWorkers(opt.Concurrency, len(gis))
+	err := forEachIndexCtx(ctx, len(gis), workers, func(i int) {
+		out[i], errs[i] = v.VerifySSP(q, u, gis[i], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("core: verifying graph %d: %w", gis[i], e)
+		}
+	}
+	return out, nil
 }
 
 // QueryBatch answers many queries over one bounded worker pool of

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/obs"
+)
+
+var (
+	errBatchBothPayloads = errors.New("give either queries or query_texts, not both")
+	errBatchEmpty        = errors.New("empty batch")
+)
+
+// This file is the shard side of distributed serving (see
+// internal/cluster): request validation the coordinator reuses before
+// fanning out, and the two shard-internal endpoints the distributed
+// top-k replay needs — /topk/bounds (the verification schedule, no
+// verification) and /topk/verify (SSPs for an explicit global-id list).
+// Both speak global graph ids on the wire, like every other endpoint on
+// a partition.
+
+// Check validates every result-affecting knob of the request — the query
+// graph parses, the verifier is known, ε/δ are in range, timeout_ms is
+// non-negative — and returns the parsed query. The coordinator calls it
+// before fanning a request out, so a malformed request is rejected with
+// one 400 instead of N shard round-trips; the semantics are exactly the
+// single-node handlers' bad-request path.
+func (req *QueryRequest) Check() (*graph.Graph, error) {
+	q, err := parseGraphPayload(req.Graph, req.GraphText)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := verifierKind(req.Verifier); err != nil {
+		return nil, err
+	}
+	opt := core.QueryOptions{Epsilon: req.Epsilon, Delta: req.Delta}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Check validates a batch request the way /batch does (either queries or
+// query_texts, at least one member, every member parses, options in
+// range) and returns the parsed members in request order.
+func (req *BatchRequest) Check() ([]*graph.Graph, error) {
+	if len(req.Queries) > 0 && len(req.QueryTexts) > 0 {
+		return nil, errBatchBothPayloads
+	}
+	var qs []*graph.Graph
+	for i := range req.Queries {
+		q, err := GraphFromJSON(&req.Queries[i])
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %v", i, err)
+		}
+		qs = append(qs, q)
+	}
+	for i, text := range req.QueryTexts {
+		q, err := parseGraphPayload(nil, text)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %v", i, err)
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, errBatchEmpty
+	}
+	if _, err := verifierKind(req.Verifier); err != nil {
+		return nil, err
+	}
+	opt := core.QueryOptions{Epsilon: req.Epsilon, Delta: req.Delta}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return qs, nil
+}
+
+// TopKBoundJSON is one /topk/bounds schedule entry: a candidate's global
+// graph id, its name, and its clamped SSP upper bound.
+type TopKBoundJSON struct {
+	Graph int     `json:"graph"`
+	Name  string  `json:"name"`
+	Upper float64 `json:"upper"`
+}
+
+// TopKBoundsResponse is the /topk/bounds reply: this shard's top-k
+// verification schedule, sorted in serial verification order (upper
+// descending, global id ascending). Degenerate marks the δ ≥ |E(q)| case,
+// where bounds lists the shard's first k live graphs (all with SSP 1) and
+// nothing needs verification.
+type TopKBoundsResponse struct {
+	Degenerate bool            `json:"degenerate"`
+	Bounds     []TopKBoundJSON `json:"bounds"`
+	Generation uint64          `json:"generation"`
+	TimeMS     float64         `json:"time_ms"`
+	Trace      *obs.SpanNode   `json:"trace,omitempty"`
+}
+
+// TopKVerifyRequest is the /topk/verify payload: a query (all the /topk
+// knobs except k apply — seed, verifier, delta, workers) plus the global
+// ids to verify, each of which must live on this shard.
+type TopKVerifyRequest struct {
+	QueryRequest
+	Graphs []int `json:"graphs"`
+}
+
+// TopKVerifyResponse is the /topk/verify reply: SSP estimates keyed by
+// global id, bitwise-identical to what the full database's top-k
+// verification computes for those graphs.
+type TopKVerifyResponse struct {
+	SSP        map[int]float64 `json:"ssp"`
+	Generation uint64          `json:"generation"`
+	TimeMS     float64         `json:"time_ms"`
+}
+
+// handleTopKBounds is POST /topk/bounds: the top-k schedule of this
+// server's graphs — upper bounds only, no verification. A distributed
+// coordinator merges the schedules of every shard by (upper, global id)
+// and replays the serial early-termination rule over the union; see
+// internal/cluster. Not cached: the coordinator owns caching of the
+// merged result.
+func (s *Server) handleTopKBounds(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	q, err := req.Check()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+
+	v := s.db.View()
+	s.metrics.queries["topk_bounds"].Inc()
+	release := s.acquire()
+	bounds, degenerate, err := v.QueryTopKBounds(ctx, q, req.K, opt)
+	release()
+	if err != nil {
+		evalError(w, "topk bounds failed", err)
+		return
+	}
+	resp := TopKBoundsResponse{
+		Degenerate: degenerate,
+		Bounds:     make([]TopKBoundJSON, 0, len(bounds)),
+		Generation: v.Generation,
+		TimeMS:     float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, b := range bounds {
+		resp.Bounds = append(resp.Bounds, TopKBoundJSON{
+			Graph: v.GID(b.Graph), Name: v.Graphs[b.Graph].G.Name(), Upper: b.Upper,
+		})
+	}
+	if traceWanted(r, req.Trace) {
+		resp.Trace = traceTree(r)
+	}
+	writeJSON(w, resp)
+}
+
+// handleTopKVerify is POST /topk/verify: SSP estimates for an explicit
+// list of this server's graphs, by global id. The estimates are the ones
+// the serial top-k run would compute (per-candidate seeding from the
+// global id alone), so the coordinator can fold them into its replayed
+// commit loop unchanged.
+func (s *Server) handleTopKVerify(w http.ResponseWriter, r *http.Request) {
+	var req TopKVerifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Graphs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty graphs list")
+		return
+	}
+	q, err := req.Check()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.queryOptions(req.Epsilon, req.Delta, req.Verifier, req.Plain, req.Seed, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+
+	v := s.db.View()
+	locals := make([]int, len(req.Graphs))
+	for i, g := range req.Graphs {
+		li := v.LocalOf(g)
+		if li < 0 || !v.Live(li) {
+			httpError(w, http.StatusBadRequest, "graph %d is not on this shard", g)
+			return
+		}
+		locals[i] = li
+	}
+	s.metrics.queries["topk_verify"].Add(int64(len(locals)))
+	release := s.acquire()
+	ssps, err := v.VerifySSPBatch(ctx, q, locals, opt)
+	release()
+	if err != nil {
+		evalError(w, "topk verify failed", err)
+		return
+	}
+	resp := TopKVerifyResponse{
+		SSP:        make(map[int]float64, len(ssps)),
+		Generation: v.Generation,
+		TimeMS:     float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, p := range ssps {
+		resp.SSP[req.Graphs[i]] = p
+	}
+	writeJSON(w, resp)
+}

@@ -26,7 +26,7 @@ type serverMetrics struct {
 
 // queryEndpoints are the instrumented evaluation endpoints, in the order
 // their counters register (registration order is exposition order).
-var queryEndpoints = []string{"query", "topk", "batch", "stream"}
+var queryEndpoints = []string{"query", "topk", "batch", "stream", "topk_bounds", "topk_verify"}
 
 var mutationOps = []string{"add", "remove", "replace"}
 

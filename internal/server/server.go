@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -119,6 +120,8 @@ func New(db *core.Database, opt Options) *Server {
 	s.mux.HandleFunc("/query", s.instrumented("query", s.handleQuery))
 	s.mux.HandleFunc("/query/stream", s.instrumented("stream", s.handleQueryStream))
 	s.mux.HandleFunc("/topk", s.instrumented("topk", s.handleTopK))
+	s.mux.HandleFunc("/topk/bounds", s.instrumented("topk_bounds", s.handleTopKBounds))
+	s.mux.HandleFunc("/topk/verify", s.instrumented("topk_verify", s.handleTopKVerify))
 	s.mux.HandleFunc("/batch", s.instrumented("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /graphs", s.handleAddGraph)
 	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleRemoveGraph)
@@ -127,6 +130,7 @@ func New(db *core.Database, opt Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -465,6 +469,10 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
+	// Drain to EOF: net/http arms its client-disconnect detection (which
+	// cancels r.Context()) only once the body is fully consumed, and
+	// Decode stops after the first JSON value.
+	io.Copy(io.Discard, r.Body)
 	return true
 }
 
@@ -562,13 +570,29 @@ func names(v *core.View, answers []int) []string {
 
 func queryResponse(v *core.View, res *core.Result, cached bool, elapsed time.Duration) *QueryResponse {
 	answers := res.Answers
+	ssp := res.SSP
+	if v.Partitioned() {
+		// Graph indices leave the server as global ids, so a shard's
+		// answers and SSP keys are directly comparable — and mergeable —
+		// with the full database's. Fresh slices/maps are built: res may
+		// live in the result cache and must never be mutated.
+		answers = make([]int, len(res.Answers))
+		for i, gi := range res.Answers {
+			answers[i] = v.GID(gi)
+		}
+		ssp = make(map[int]float64, len(res.SSP))
+		//pgvet:sorted map-to-map rekeying; result is order-independent
+		for gi, p := range res.SSP {
+			ssp[v.GID(gi)] = p
+		}
+	}
 	if answers == nil {
 		answers = []int{}
 	}
 	return &QueryResponse{
 		Answers:    answers,
 		Names:      names(v, res.Answers),
-		SSP:        res.SSP,
+		SSP:        ssp,
 		Stats:      statsJSON(res.Stats),
 		Generation: v.Generation,
 		Cached:     cached,
@@ -673,7 +697,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			TimeMS: float64(time.Since(start).Microseconds()) / 1000}
 		for _, it := range items {
 			out.Items = append(out.Items, TopKItemJSON{
-				Graph: it.Graph, Name: v.Graphs[it.Graph].G.Name(), SSP: it.SSP,
+				Graph: v.GID(it.Graph), Name: v.Graphs[it.Graph].G.Name(), SSP: it.SSP,
 			})
 		}
 		if wantTrace {
@@ -949,7 +973,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It says nothing about whether queries can be answered — that is
+// /readyz's job — so orchestrators restart on /healthz failures and hold
+// traffic on /readyz failures, independently.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	v := s.db.View()
 	writeJSON(w, map[string]any{"status": "ok", "graphs": v.NumLive(), "generation": v.Generation})
+}
+
+// handleReadyz is the readiness probe: 200 once the database is loaded
+// with at least one live graph (the snapshot parsed and this server can
+// answer queries), 503 otherwise. The coordinator's /readyz additionally
+// requires every shard to be ready — see internal/cluster.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	v := s.db.View()
+	if v.NumLive() == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "error": "no live graphs"})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"ready": true, "graphs": v.NumLive(), "generation": v.Generation,
+		"partitioned": v.Partitioned(),
+	})
 }

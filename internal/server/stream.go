@@ -187,8 +187,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 				queue.push(streamItem{err: err})
 				return
 			}
+			// Graph indices leave the server as global ids (GID is the
+			// identity off a partition), matching /query's translation.
 			queue.push(streamItem{m: StreamMatchJSON{
-				Graph: m.Graph, Name: v.Graphs[m.Graph].G.Name(), SSP: m.SSP,
+				Graph: v.GID(m.Graph), Name: v.Graphs[m.Graph].G.Name(), SSP: m.SSP,
 			}})
 		}
 	}()

@@ -311,6 +311,14 @@ func ParseSnapshotFormat(s string) (SnapshotFormat, error) { return core.ParseSn
 // one that wrote the file.
 func OpenSnapshot(path string) (*Database, error) { return core.OpenSnapshot(path) }
 
+// PartitionRanges splits n database slots into the given number of
+// contiguous [lo, hi) ranges, as evenly as possible — the canonical
+// cluster partition rule behind Database.Partition / SaveRange (also on
+// the aliased core type) and pgproxy's sharded serving: each range is
+// saved as a read-only partition snapshot whose queries answer
+// bitwise-identically to the full database for the graphs it holds.
+func PartitionRanges(n, shards int) ([][2]int, error) { return core.PartitionRanges(n, shards) }
+
 // SaveGraph writes one certain graph in the line-oriented text codec (the
 // format of pgsearch -qfile query files). Labels survive spaces, '#', and
 // unicode via token escaping.
